@@ -1,0 +1,52 @@
+// Command unigpu-bench regenerates the paper's tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"unigpu/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,all")
+	flag.Parse()
+	e := bench.NewEstimator()
+	switch *table {
+	case "experiments":
+		fmt.Print(e.ExperimentsReport())
+		return
+	case "figure2":
+		fmt.Print(bench.Figure2Demo())
+		return
+	case "figure3":
+		fmt.Print(bench.Figure3Demo())
+		return
+	case "irsize":
+		irL, cuL, clL := bench.IRSizeExperiment()
+		fmt.Printf("vision pipeline in unified IR: %d lines -> %d CUDA + %d OpenCL lines\n", irL, cuL, clL)
+		return
+	}
+	switch *table {
+	case "1", "2", "3":
+		n := int((*table)[0] - '0')
+		fmt.Print(e.OverallTable(n).Format())
+	case "4":
+		fmt.Print(bench.FormatAblation("Table 4: vision-specific operator optimizations", e.VisionAblation()))
+	case "5":
+		fmt.Print(bench.FormatAblation("Table 5: tuning-based conv optimizations", e.TuningAblation()))
+	case "fallback":
+		r := e.FallbackExperiment()
+		fmt.Printf("all-GPU %.2f ms, NMS fallback %.2f ms, overhead %.2f%%\n", r.AllGPUMs, r.FallbackMs, r.OverheadPct)
+	default:
+		for n := 1; n <= 3; n++ {
+			fmt.Print(e.OverallTable(n).Format())
+			fmt.Println()
+		}
+		fmt.Print(bench.FormatAblation("Table 4", e.VisionAblation()))
+		fmt.Println()
+		fmt.Print(bench.FormatAblation("Table 5", e.TuningAblation()))
+		r := e.FallbackExperiment()
+		fmt.Printf("\nFallback: all-GPU %.2f ms, fallback %.2f ms, overhead %.2f%%\n", r.AllGPUMs, r.FallbackMs, r.OverheadPct)
+	}
+}

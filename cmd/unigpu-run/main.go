@@ -1,0 +1,89 @@
+// Command unigpu-run compiles a model for a platform, runs one functional
+// inference on synthetic input, and reports the predicted device latency
+// with its breakdown plus the top output rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"unigpu"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "SqueezeNet1.0", "model name (see -list)")
+	device := flag.String("device", "nano", "deeplens | aisage | nano")
+	size := flag.Int("size", 0, "square input size (0 = model default; small sizes run faster functionally)")
+	fallback := flag.Bool("fallback-nms", false, "place NMS on the companion CPU (§3.1.2)")
+	untuned := flag.Bool("untuned", false, "skip schedule tuning (Table 5's Before)")
+	list := flag.Bool("list", false, "list models and platforms")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:", unigpu.ModelNames())
+		for _, p := range unigpu.Platforms() {
+			fmt.Printf("platform: %-20s GPU=%s CPU=%s\n", p.Name, p.GPU.Name, p.CPU.Name)
+		}
+		return
+	}
+
+	var platform *unigpu.Platform
+	switch *device {
+	case "deeplens":
+		platform = unigpu.DeepLens
+	case "aisage":
+		platform = unigpu.AiSage
+	case "nano":
+		platform = unigpu.JetsonNano
+	default:
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	eng := unigpu.NewEngine()
+	start := time.Now()
+	cm, err := eng.Compile(*model, platform, unigpu.CompileOptions{
+		InputSize:   *size,
+		FallbackNMS: *fallback,
+		SkipTuning:  *untuned,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s for %s in %v\n", cm.Name, platform.Name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("predicted latency: %.2f ms (conv %.2f + layout %.2f + vision %.2f + elementwise)\n",
+		cm.PredictedLatencyMs, cm.ConvKernelMs, cm.TransformMs, cm.VisionMs)
+	stats := cm.GraphStats()
+	fmt.Printf("graph: %d ops (%d conv), %d on CPU, %d device copies\n",
+		stats.Ops, stats.Convs, stats.OnCPU, stats.Copies)
+
+	in := unigpu.NewTensor(cm.InputShape()...)
+	in.FillRandom(42)
+	start = time.Now()
+	out, err := cm.Run(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional inference on host: %v, output %v\n", time.Since(start).Round(time.Millisecond), out.Shape())
+
+	if out.Rank() == 3 { // detections
+		fmt.Println("top detections [class score x1 y1 x2 y2]:")
+		for i := 0; i < 5 && i < out.Shape()[1]; i++ {
+			if out.At(0, i, 0) < 0 {
+				break
+			}
+			fmt.Printf("  %3.0f %.3f  %7.1f %7.1f %7.1f %7.1f\n",
+				out.At(0, i, 0), out.At(0, i, 1), out.At(0, i, 2), out.At(0, i, 3), out.At(0, i, 4), out.At(0, i, 5))
+		}
+	} else {
+		best, bestP := 0, float32(0)
+		for c := 0; c < out.Shape()[1]; c++ {
+			if p := out.At(0, c); p > bestP {
+				best, bestP = c, p
+			}
+		}
+		fmt.Printf("top class: %d (p=%.4f)\n", best, bestP)
+	}
+}

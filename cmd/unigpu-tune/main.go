@@ -1,0 +1,98 @@
+// Command unigpu-tune searches convolution schedules for a workload on a
+// platform and maintains the tuning-records database (§3.2.3). It prints
+// the winning configuration, its predicted latency, and the generated
+// CUDA/OpenCL kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"unigpu/internal/autotvm"
+	"unigpu/internal/codegen"
+	"unigpu/internal/models"
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+	"unigpu/internal/templates"
+)
+
+func main() {
+	log.SetFlags(0)
+	device := flag.String("device", "nano", "deeplens | aisage | nano")
+	model := flag.String("model", "", "tune every conv workload of a model (e.g. ResNet50_v1)")
+	budget := flag.Int("budget", 128, "measurement budget per workload")
+	searcher := flag.String("search", "model", "search strategy: random | sa | model | grid")
+	dbPath := flag.String("db", "tuning_records.json", "tuning-records database path")
+	emit := flag.Bool("emit", false, "print the generated CUDA/OpenCL for the best schedule")
+	seed := flag.Int64("seed", 1, "search RNG seed")
+	flag.Parse()
+
+	var platform *sim.Platform
+	switch *device {
+	case "deeplens":
+		platform = sim.DeepLens
+	case "aisage":
+		platform = sim.AiSage
+	case "nano":
+		platform = sim.JetsonNano
+	default:
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	db, err := autotvm.OpenDB(*dbPath)
+	if err != nil {
+		log.Fatalf("open db: %v", err)
+	}
+
+	var workloads []ops.ConvWorkload
+	if *model != "" {
+		m := models.Build(*model, models.DefaultInputSize(*model), true)
+		seen := map[string]bool{}
+		for _, w := range m.Convs {
+			if !seen[w.Key()] {
+				seen[w.Key()] = true
+				workloads = append(workloads, w)
+			}
+		}
+		log.Printf("tuning %d unique conv workloads of %s on %s", len(workloads), *model, platform.Name)
+	} else {
+		// A representative default workload.
+		workloads = []ops.ConvWorkload{{N: 1, CIn: 64, H: 56, W: 56, COut: 64,
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}}
+	}
+
+	search := map[string]func(autotvm.Task, autotvm.Options) autotvm.Result{
+		"random": autotvm.RandomSearch,
+		"sa":     autotvm.SimulatedAnnealing,
+		"model":  autotvm.ModelGuidedSearch,
+		"grid":   autotvm.GridSearch,
+	}[*searcher]
+	if search == nil {
+		log.Fatalf("unknown search strategy %q", *searcher)
+	}
+
+	for _, w := range workloads {
+		task := autotvm.Task{Workload: w, Device: platform.GPU}
+		if cached, ok := db.Lookup(task); ok {
+			log.Printf("%-55s cached  %8.3f ms  %v", w.Key(), cached.Ms, cached.Config)
+			continue
+		}
+		def := templates.CostMs(w, templates.DeviceDefaultConfig(w, platform.GPU), platform.GPU)
+		res := search(task, autotvm.Options{Budget: *budget, Seed: *seed})
+		db.Store(task, res)
+		log.Printf("%-55s tuned   %8.3f ms  (default %8.3f ms, %.2fx, %d trials)  %v",
+			w.Key(), res.Ms, def, def/res.Ms, res.Trials, res.Config)
+		if *emit {
+			k := templates.Schedule(w, res.Config, platform.GPU)
+			fmt.Println("--- CUDA ---")
+			fmt.Println(codegen.Emit(k, codegen.CUDA))
+			fmt.Println("--- OpenCL ---")
+			fmt.Println(codegen.Emit(k, codegen.OpenCL))
+		}
+	}
+	if err := db.Save(); err != nil {
+		log.Fatalf("save db: %v", err)
+	}
+	log.Printf("database %s now holds %d records", *dbPath, db.Len())
+}

@@ -1,0 +1,44 @@
+package unigpu_test
+
+import (
+	"fmt"
+
+	"unigpu"
+)
+
+// The evaluation setup of the paper: six models on three platforms.
+func Example() {
+	for _, name := range unigpu.ModelNames() {
+		fmt.Println(name)
+	}
+	for _, p := range unigpu.Platforms() {
+		fmt.Printf("%s: %s + %s (GPU:CPU peak %.2fx)\n",
+			p.Name, p.GPU.Name, p.CPU.Name, p.PeakRatio())
+	}
+	// Output:
+	// ResNet50_v1
+	// MobileNet1.0
+	// SqueezeNet1.0
+	// SSD_MobileNet1.0
+	// SSD_ResNet50
+	// Yolov3
+	// AWS DeepLens: Intel HD Graphics 505 + Intel Atom x5-E3930 (GPU:CPU peak 5.16x)
+	// Acer aiSage: ARM Mali T-860 MP4 + RK3399 Cortex-A72 (GPU:CPU peak 6.75x)
+	// Nvidia Jetson Nano: Nvidia Maxwell 128-core + Jetson Nano Cortex-A57 (GPU:CPU peak 2.48x)
+}
+
+// Compiling a model yields a latency prediction and a runnable artifact.
+func ExampleEngine_Compile() {
+	eng := unigpu.NewEngine()
+	cm, err := eng.Compile("SqueezeNet1.0", unigpu.JetsonNano, unigpu.CompileOptions{InputSize: 64})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cm.Name, "compiled for", cm.Platform.Name)
+	fmt.Println("latency prediction is positive:", cm.PredictedLatencyMs > 0)
+	fmt.Println("input shape:", cm.InputShape())
+	// Output:
+	// SqueezeNet1.0 compiled for Nvidia Jetson Nano
+	// latency prediction is positive: true
+	// input shape: [1 3 64 64]
+}

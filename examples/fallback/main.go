@@ -1,0 +1,49 @@
+// Fallback: reproduce the §3.1.2 heterogeneous-execution experiment — run
+// SSD (ResNet50 backbone) entirely on the DeepLens integrated GPU, then
+// with NMS fallen back to the Atom CPU, and show the overhead is below
+// half a percent. Also demonstrates the two-pass placement algorithm on a
+// real graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unigpu"
+	"unigpu/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	eng := unigpu.NewEngine()
+
+	// Placement, structurally: compile at a small size and inspect the
+	// graph the two-pass algorithm produces.
+	small, err := eng.Compile("SSD_ResNet50", unigpu.DeepLens,
+		unigpu.CompileOptions{InputSize: 128, FallbackNMS: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := small.GraphStats()
+	fmt.Printf("two-pass placement: %d ops total, %d tagged CPU, %d device_copy nodes inserted\n",
+		stats.Ops, stats.OnCPU, stats.Copies)
+
+	in := unigpu.NewTensor(small.InputShape()...)
+	in.FillRandom(5)
+	if _, err := small.Run(in); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("heterogeneous graph executed functionally (GPU ops + CPU NMS + copies)")
+
+	// The paper's measurement, at full 512x512 on the simulated DeepLens:
+	// entire model on the integrated GPU vs NMS fallen back to the CPU.
+	res := eng.Experiments().FallbackExperiment()
+	fmt.Printf("\nSSD_ResNet50 on AWS DeepLens (512x512):\n")
+	fmt.Printf("  all on integrated GPU : %8.2f ms   (paper: %.2f ms)\n", res.AllGPUMs, bench.PaperFallback.AllGPUMs)
+	fmt.Printf("  NMS fallback to CPU   : %8.2f ms   (paper: %.2f ms)\n", res.FallbackMs, bench.PaperFallback.FallbackMs)
+	fmt.Printf("  overhead              : %8.2f %%    (paper: <0.5%%)\n", res.OverheadPct)
+	fmt.Println("\nWhy so cheap: the integrated GPU shares DRAM with the CPU, the NMS")
+	fmt.Println("input is small (~100s of KB), and post-processing is off the critical")
+	fmt.Println("compute path — which is what makes early adoption of new models with")
+	fmt.Println("unsupported operators practical (§3.1.2).")
+}

@@ -1,0 +1,3 @@
+module unigpu
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package autotvm implements the machine-learning-based schedule search of
+// §3.2.3: given a conv workload, a device, and the template's configuration
+// space, it finds a low-latency schedule using random search, simulated
+// annealing, or a gradient-boosted-trees cost model (the XGBoost stand-in
+// AutoTVM uses), and persists the winner in a tuning-records database so a
+// workload is never searched twice on the same platform.
+//
+// On real hardware each measurement is an on-device run; here the measurer
+// is the simulator's cost model — the same (schedule -> latency) oracle
+// role.
+package autotvm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+	"unigpu/internal/templates"
+)
+
+// Task is one tuning job: a workload on a device.
+type Task struct {
+	Workload ops.ConvWorkload
+	Device   *sim.Device
+}
+
+// Measurer evaluates a configuration's latency in milliseconds.
+type Measurer func(t Task, cfg templates.Config) float64
+
+// SimMeasurer prices the lowered schedule on the simulated device.
+func SimMeasurer(t Task, cfg templates.Config) float64 {
+	return templates.CostMs(t.Workload, cfg, t.Device)
+}
+
+// Result is the outcome of tuning one task.
+type Result struct {
+	Config templates.Config
+	Ms     float64
+	Trials int
+}
+
+// Options controls a tuning run.
+type Options struct {
+	Budget  int      // measurement budget (trials)
+	Seed    int64    // RNG seed (deterministic searches)
+	Measure Measurer // defaults to SimMeasurer
+}
+
+func (o *Options) normalize() {
+	if o.Budget <= 0 {
+		o.Budget = 128
+	}
+	if o.Measure == nil {
+		o.Measure = SimMeasurer
+	}
+}
+
+// RandomSearch samples the space uniformly.
+func RandomSearch(t Task, opts Options) Result {
+	opts.normalize()
+	space := templates.ConfigSpace(t.Workload, t.Device)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best := Result{Ms: math.Inf(1)}
+	for i := 0; i < opts.Budget; i++ {
+		cfg := space[rng.Intn(len(space))]
+		ms := opts.Measure(t, cfg)
+		best.Trials++
+		if ms < best.Ms {
+			best.Ms = ms
+			best.Config = cfg
+		}
+	}
+	return best
+}
+
+// GridSearch measures every configuration; exact but only affordable for
+// small spaces (used as ground truth in tests).
+func GridSearch(t Task, opts Options) Result {
+	opts.normalize()
+	best := Result{Ms: math.Inf(1)}
+	for _, cfg := range templates.ConfigSpace(t.Workload, t.Device) {
+		ms := opts.Measure(t, cfg)
+		best.Trials++
+		if ms < best.Ms {
+			best.Ms = ms
+			best.Config = cfg
+		}
+	}
+	return best
+}
+
+// SimulatedAnnealing walks the space by mutating one knob at a time with a
+// Metropolis acceptance rule and geometric cooling.
+func SimulatedAnnealing(t Task, opts Options) Result {
+	opts.normalize()
+	space := templates.ConfigSpace(t.Workload, t.Device)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	cur := space[rng.Intn(len(space))]
+	curMs := opts.Measure(t, cur)
+	best := Result{Config: cur, Ms: curMs, Trials: 1}
+	temp := curMs // initial temperature on the scale of the objective
+	for i := 1; i < opts.Budget; i++ {
+		cand := mutate(cur, space, rng)
+		ms := opts.Measure(t, cand)
+		best.Trials++
+		if ms < best.Ms {
+			best.Ms = ms
+			best.Config = cand
+		}
+		if ms < curMs || rng.Float64() < math.Exp(-(ms-curMs)/math.Max(temp, 1e-9)) {
+			cur, curMs = cand, ms
+		}
+		temp *= 0.96
+	}
+	return best
+}
+
+// mutate picks a random neighbour: a config from the space sharing all but
+// one knob with cur when possible, else a random point.
+func mutate(cur templates.Config, space []templates.Config, rng *rand.Rand) templates.Config {
+	neighbours := make([]templates.Config, 0, 16)
+	for _, c := range space {
+		if diffKnobs(c, cur) == 1 {
+			neighbours = append(neighbours, c)
+		}
+	}
+	if len(neighbours) == 0 {
+		return space[rng.Intn(len(space))]
+	}
+	return neighbours[rng.Intn(len(neighbours))]
+}
+
+func diffKnobs(a, b templates.Config) int {
+	n := 0
+	if a.TileCo != b.TileCo {
+		n++
+	}
+	if a.TileH != b.TileH {
+		n++
+	}
+	if a.TileW != b.TileW {
+		n++
+	}
+	if a.VecW != b.VecW {
+		n++
+	}
+	if a.TileK != b.TileK {
+		n++
+	}
+	if a.UnrollKernel != b.UnrollKernel {
+		n++
+	}
+	if a.UseSubgroup != b.UseSubgroup {
+		n++
+	}
+	return n
+}
+
+// ModelGuidedSearch is the AutoTVM loop: measure a seed batch, fit a
+// gradient-boosted-trees cost model on (features -> latency), then
+// repeatedly rank a large candidate pool with the model and spend the
+// measurement budget only on the predicted-best unmeasured configs.
+func ModelGuidedSearch(t Task, opts Options) Result {
+	opts.normalize()
+	space := templates.ConfigSpace(t.Workload, t.Device)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	type sample struct {
+		cfg templates.Config
+		ms  float64
+	}
+	measured := map[string]bool{}
+	var samples []sample
+	best := Result{Ms: math.Inf(1)}
+
+	measure := func(cfg templates.Config) {
+		if measured[cfg.String()] {
+			return
+		}
+		measured[cfg.String()] = true
+		ms := opts.Measure(t, cfg)
+		samples = append(samples, sample{cfg, ms})
+		best.Trials++
+		if ms < best.Ms {
+			best.Ms = ms
+			best.Config = cfg
+		}
+	}
+
+	seedN := min(opts.Budget/4+1, len(space))
+	for i := 0; i < seedN; i++ {
+		measure(space[rng.Intn(len(space))])
+	}
+
+	const batch = 8
+	for best.Trials < opts.Budget {
+		X := make([][]float64, len(samples))
+		y := make([]float64, len(samples))
+		for i, s := range samples {
+			X[i] = Features(t.Workload, s.cfg)
+			y[i] = math.Log1p(s.ms) // compress the dynamic range
+		}
+		model := FitGBT(X, y, GBTParams{Rounds: 30, Depth: 3, LearningRate: 0.3})
+
+		// Rank a candidate pool: random points plus neighbours of the best.
+		pool := make([]templates.Config, 0, 256)
+		for i := 0; i < 192; i++ {
+			pool = append(pool, space[rng.Intn(len(space))])
+		}
+		for i := 0; i < 64; i++ {
+			pool = append(pool, mutate(best.Config, space, rng))
+		}
+		sort.SliceStable(pool, func(i, j int) bool {
+			return model.Predict(Features(t.Workload, pool[i])) < model.Predict(Features(t.Workload, pool[j]))
+		})
+		picked := 0
+		for _, cfg := range pool {
+			if best.Trials >= opts.Budget || picked >= batch {
+				break
+			}
+			if !measured[cfg.String()] {
+				measure(cfg)
+				picked++
+			}
+		}
+		if picked == 0 {
+			break // space exhausted
+		}
+	}
+	return best
+}
+
+// Features embeds a (workload, config) pair for the cost model.
+func Features(w ops.ConvWorkload, c templates.Config) []float64 {
+	lg := func(v int) float64 { return math.Log2(float64(max(1, v))) }
+	threads := c.TileCo * c.TileH * (c.TileW / max(1, c.VecW))
+	blocks := ceilDiv(w.COut, c.TileCo) * ceilDiv(w.OutH(), c.TileH) * ceilDiv(w.OutW(), c.TileW)
+	return []float64{
+		lg(c.TileCo), lg(c.TileH), lg(c.TileW), lg(c.VecW), float64(c.TileK),
+		b2f(c.UnrollKernel), b2f(c.UseSubgroup),
+		lg(threads), lg(blocks),
+		lg(w.CIn), lg(w.COut), lg(w.OutH() * w.OutW()), lg(w.KH * w.KW),
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,169 @@
+package autotvm
+
+import "sort"
+
+// GBTParams configures gradient-boosted regression trees — the stand-in
+// for the XGBoost cost model AutoTVM uses to rank candidate schedules.
+type GBTParams struct {
+	Rounds       int
+	Depth        int
+	LearningRate float64
+	MinLeaf      int
+}
+
+// GBTModel is an additive ensemble of regression trees.
+type GBTModel struct {
+	base  float64
+	trees []*treeNode
+	lr    float64
+}
+
+type treeNode struct {
+	feature int
+	thresh  float64
+	value   float64 // leaf prediction
+	lo, hi  *treeNode
+	isLeaf  bool
+}
+
+// FitGBT trains on rows X with targets y.
+func FitGBT(X [][]float64, y []float64, p GBTParams) *GBTModel {
+	if p.Rounds <= 0 {
+		p.Rounds = 30
+	}
+	if p.Depth <= 0 {
+		p.Depth = 3
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.3
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 2
+	}
+	m := &GBTModel{lr: p.LearningRate}
+	if len(X) == 0 {
+		return m
+	}
+	for _, v := range y {
+		m.base += v
+	}
+	m.base /= float64(len(y))
+
+	resid := make([]float64, len(y))
+	for i := range y {
+		resid[i] = y[i] - m.base
+	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	for r := 0; r < p.Rounds; r++ {
+		t := buildTree(X, resid, idx, p.Depth, p.MinLeaf)
+		m.trees = append(m.trees, t)
+		for i := range resid {
+			resid[i] -= p.LearningRate * t.predict(X[i])
+		}
+	}
+	return m
+}
+
+// Predict returns the model's estimate for one feature row.
+func (m *GBTModel) Predict(x []float64) float64 {
+	out := m.base
+	for _, t := range m.trees {
+		out += m.lr * t.predict(x)
+	}
+	return out
+}
+
+func (t *treeNode) predict(x []float64) float64 {
+	for !t.isLeaf {
+		if x[t.feature] <= t.thresh {
+			t = t.lo
+		} else {
+			t = t.hi
+		}
+	}
+	return t.value
+}
+
+func buildTree(X [][]float64, resid []float64, idx []int, depth, minLeaf int) *treeNode {
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return leaf(resid, idx)
+	}
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	total, totalSq := sums(resid, idx)
+	n := float64(len(idx))
+	baseErr := totalSq - total*total/n
+
+	nf := len(X[0])
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds between distinct values.
+		for k := 1; k < len(vals); k++ {
+			if vals[k] == vals[k-1] {
+				continue
+			}
+			th := (vals[k] + vals[k-1]) / 2
+			var ls, lss, ln float64
+			for _, i := range idx {
+				if X[i][f] <= th {
+					ls += resid[i]
+					lss += resid[i] * resid[i]
+					ln++
+				}
+			}
+			rn := n - ln
+			if ln < float64(minLeaf) || rn < float64(minLeaf) {
+				continue
+			}
+			rs := total - ls
+			rss := totalSq - lss
+			err := (lss - ls*ls/ln) + (rss - rs*rs/rn)
+			if gain := baseErr - err; gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, f, th
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return leaf(resid, idx)
+	}
+	var lo, hi []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			lo = append(lo, i)
+		} else {
+			hi = append(hi, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		lo:      buildTree(X, resid, lo, depth-1, minLeaf),
+		hi:      buildTree(X, resid, hi, depth-1, minLeaf),
+	}
+}
+
+func leaf(resid []float64, idx []int) *treeNode {
+	var s float64
+	for _, i := range idx {
+		s += resid[i]
+	}
+	if len(idx) > 0 {
+		s /= float64(len(idx))
+	}
+	return &treeNode{isLeaf: true, value: s}
+}
+
+func sums(resid []float64, idx []int) (s, ss float64) {
+	for _, i := range idx {
+		s += resid[i]
+		ss += resid[i] * resid[i]
+	}
+	return
+}

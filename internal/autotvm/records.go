@@ -1,0 +1,124 @@
+package autotvm
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+
+	"unigpu/internal/templates"
+)
+
+// DB is the tuning-records database of §3.2.3: "In order to prevent
+// replicated searching in the future, we maintain a database to store the
+// results for every convolution workload on each hardware platform."
+type DB struct {
+	mu      sync.Mutex
+	path    string
+	records map[string]StoredRecord
+}
+
+// StoredRecord is one persisted tuning result.
+type StoredRecord struct {
+	Device   string           `json:"device"`
+	Workload string           `json:"workload"`
+	Config   templates.Config `json:"config"`
+	Ms       float64          `json:"ms"`
+	Trials   int              `json:"trials"`
+}
+
+// NewDB creates an in-memory database; path may be empty for no
+// persistence.
+func NewDB(path string) *DB {
+	return &DB{path: path, records: map[string]StoredRecord{}}
+}
+
+// OpenDB loads a database from disk if the file exists.
+func OpenDB(path string) (*DB, error) {
+	db := NewDB(path)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []StoredRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		db.records[r.Device+"|"+r.Workload] = r
+	}
+	return db, nil
+}
+
+// Save persists the database as a sorted JSON array.
+func (db *DB) Save() error {
+	if db.path == "" {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	recs := make([]StoredRecord, 0, len(db.records))
+	for _, r := range db.records {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Device != recs[j].Device {
+			return recs[i].Device < recs[j].Device
+		}
+		return recs[i].Workload < recs[j].Workload
+	})
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(db.path, data, 0o644)
+}
+
+// Lookup returns the stored result for a task.
+func (db *DB) Lookup(t Task) (Result, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.records[t.Device.Name+"|"+t.Workload.Key()]
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Config: r.Config, Ms: r.Ms, Trials: r.Trials}, true
+}
+
+// Store records a result for a task.
+func (db *DB) Store(t Task, res Result) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records[t.Device.Name+"|"+t.Workload.Key()] = StoredRecord{
+		Device:   t.Device.Name,
+		Workload: t.Workload.Key(),
+		Config:   res.Config,
+		Ms:       res.Ms,
+		Trials:   res.Trials,
+	}
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.records)
+}
+
+// Tune returns the cached result for the task or runs the model-guided
+// search and stores the winner.
+func Tune(t Task, opts Options, db *DB) Result {
+	if db != nil {
+		if r, ok := db.Lookup(t); ok {
+			return r
+		}
+	}
+	res := ModelGuidedSearch(t, opts)
+	if db != nil {
+		db.Store(t, res)
+	}
+	return res
+}

@@ -1,0 +1,220 @@
+package autotvm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"unigpu/internal/ops"
+	"unigpu/internal/templates"
+)
+
+// TransferSearch is the transfer-learning variant of the model-guided
+// search: the GBT cost model is pre-trained on every record already in the
+// database for the same device (the feature embedding includes the
+// workload, so knowledge transfers across conv shapes — the reason
+// AutoTVM's cost model amortises across a network's layers), then the
+// measurement budget is spent only on the predicted-best configurations of
+// the new task.
+//
+// On real edge devices this matters enormously: §3.2.3 reports "up to tens
+// of hours to search all convolution workloads in one model for one
+// device", so starting each new workload cold is unaffordable.
+func TransferSearch(t Task, opts Options, db *DB) Result {
+	opts.normalize()
+	if db != nil {
+		if r, ok := db.Lookup(t); ok {
+			return r
+		}
+	}
+
+	// Harvest training data from prior tasks on the same device. The
+	// stored records hold only the best config per workload; re-measure a
+	// small neighbourhood around each to densify the training set without
+	// touching the new task's budget (these are cached oracle calls for
+	// already-tuned workloads).
+	var X [][]float64
+	var y []float64
+	if db != nil {
+		db.mu.Lock()
+		var priors []StoredRecord
+		for _, r := range db.records {
+			if r.Device == t.Device.Name {
+				priors = append(priors, r)
+			}
+		}
+		db.mu.Unlock()
+		sort.Slice(priors, func(i, j int) bool { return priors[i].Workload < priors[j].Workload })
+		for _, r := range priors {
+			w, ok := workloadFromKey(r.Workload)
+			if !ok {
+				continue
+			}
+			X = append(X, Features(w.toConvWorkload(), r.Config))
+			y = append(y, math.Log1p(r.Ms))
+		}
+	}
+
+	space := templates.ConfigSpace(t.Workload, t.Device)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best := Result{Ms: math.Inf(1)}
+	measured := map[string]bool{}
+	measure := func(cfg templates.Config) {
+		if measured[cfg.String()] {
+			return
+		}
+		measured[cfg.String()] = true
+		ms := opts.Measure(t, cfg)
+		X = append(X, Features(t.Workload, cfg))
+		y = append(y, math.Log1p(ms))
+		best.Trials++
+		if ms < best.Ms {
+			best.Ms = ms
+			best.Config = cfg
+		}
+	}
+
+	if len(X) == 0 {
+		// Nothing to transfer from: behave like the cold search.
+		res := ModelGuidedSearch(t, opts)
+		if db != nil {
+			db.Store(t, res)
+		}
+		return res
+	}
+
+	const batch = 8
+	for best.Trials < opts.Budget {
+		model := FitGBT(X, y, GBTParams{Rounds: 30, Depth: 3, LearningRate: 0.3})
+		pool := make([]templates.Config, 0, 256)
+		for i := 0; i < 224; i++ {
+			pool = append(pool, space[rng.Intn(len(space))])
+		}
+		if best.Trials > 0 {
+			for i := 0; i < 32; i++ {
+				pool = append(pool, mutate(best.Config, space, rng))
+			}
+		}
+		sort.SliceStable(pool, func(i, j int) bool {
+			return model.Predict(Features(t.Workload, pool[i])) < model.Predict(Features(t.Workload, pool[j]))
+		})
+		picked := 0
+		for _, cfg := range pool {
+			if best.Trials >= opts.Budget || picked >= batch {
+				break
+			}
+			if !measured[cfg.String()] {
+				measure(cfg)
+				picked++
+			}
+		}
+		if picked == 0 {
+			break
+		}
+	}
+	if db != nil {
+		db.Store(t, best)
+	}
+	return best
+}
+
+// workloadFromKey parses the canonical workload key produced by
+// ops.ConvWorkload.Key back into a workload; returns false for malformed
+// keys (e.g. from a future format).
+func workloadFromKey(key string) (w workloadLite, ok bool) {
+	// Format: kind_n%d_c%d_h%d_w%d_o%d_k%dx%d_s%d_p%d_g%d
+	var kind string
+	fields := map[byte]*int{}
+	w0 := workloadLite{}
+	fields['n'] = &w0.N
+	fields['c'] = &w0.CIn
+	fields['h'] = &w0.H
+	fields['w'] = &w0.W
+	fields['o'] = &w0.COut
+	fields['s'] = &w0.Stride
+	fields['p'] = &w0.Pad
+	fields['g'] = &w0.Groups
+
+	parts := splitUnderscore(key)
+	if len(parts) < 10 {
+		return w0, false
+	}
+	kind = parts[0]
+	_ = kind
+	for _, p := range parts[1:] {
+		if len(p) < 2 {
+			return w0, false
+		}
+		if p[0] == 'k' { // kXxY
+			var kh, kw int
+			if n, _ := sscanfKxK(p[1:], &kh, &kw); n != 2 {
+				return w0, false
+			}
+			w0.KH, w0.KW = kh, kw
+			continue
+		}
+		dst, okf := fields[p[0]]
+		if !okf {
+			return w0, false
+		}
+		v, okn := atoiSafe(p[1:])
+		if !okn {
+			return w0, false
+		}
+		*dst = v
+	}
+	return w0, true
+}
+
+// workloadLite mirrors the fields Features needs.
+type workloadLite struct {
+	N, CIn, H, W, COut, KH, KW, Stride, Pad, Groups int
+}
+
+// toConvWorkload rebuilds the full workload for the feature embedding.
+func (w workloadLite) toConvWorkload() ops.ConvWorkload {
+	return ops.ConvWorkload{N: w.N, CIn: w.CIn, H: w.H, W: w.W, COut: w.COut,
+		KH: w.KH, KW: w.KW, StrideH: w.Stride, StrideW: w.Stride,
+		PadH: w.Pad, PadW: w.Pad, Groups: w.Groups}
+}
+
+func splitUnderscore(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '_' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func atoiSafe(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		v = v*10 + int(s[i]-'0')
+	}
+	return v, true
+}
+
+func sscanfKxK(s string, kh, kw *int) (int, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'x' {
+			a, ok1 := atoiSafe(s[:i])
+			b, ok2 := atoiSafe(s[i+1:])
+			if !ok1 || !ok2 {
+				return 0, false
+			}
+			*kh, *kw = a, b
+			return 2, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+package autotvm
+
+import (
+	"testing"
+
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+)
+
+func TestWorkloadKeyRoundTrip(t *testing.T) {
+	ws := []ops.ConvWorkload{
+		{N: 1, CIn: 64, H: 56, W: 56, COut: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+		{N: 2, CIn: 32, H: 28, W: 28, COut: 32, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, Groups: 32},
+		{N: 1, CIn: 3, H: 224, W: 224, COut: 64, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+	}
+	for _, w := range ws {
+		lite, ok := workloadFromKey(w.Key())
+		if !ok {
+			t.Fatalf("could not parse key %q", w.Key())
+		}
+		back := lite.toConvWorkload()
+		if back.Key() != w.Key() {
+			t.Fatalf("round trip %q -> %q", w.Key(), back.Key())
+		}
+	}
+	if _, ok := workloadFromKey("garbage"); ok {
+		t.Fatal("malformed keys must be rejected")
+	}
+	if _, ok := workloadFromKey("conv2d_n1_cX_h1_w1_o1_k1x1_s1_p0_g1"); ok {
+		t.Fatal("non-numeric fields must be rejected")
+	}
+}
+
+func TestTransferSearchUsesPriors(t *testing.T) {
+	d := sim.MaxwellNano
+	db := NewDB("")
+
+	// Tune a spread of ResNet-like workloads to seed the database.
+	seeds := []ops.ConvWorkload{
+		{N: 1, CIn: 64, H: 56, W: 56, COut: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{N: 1, CIn: 128, H: 28, W: 28, COut: 128, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{N: 1, CIn: 64, H: 56, W: 56, COut: 256, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{N: 1, CIn: 256, H: 14, W: 14, COut: 256, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}
+	for i, w := range seeds {
+		Tune(Task{Workload: w, Device: d}, Options{Budget: 48, Seed: int64(i + 1)}, db)
+	}
+	if db.Len() != len(seeds) {
+		t.Fatalf("db holds %d records", db.Len())
+	}
+
+	// A new, related workload with a tiny budget: transfer should do at
+	// least as well as a cold random search with the same budget, averaged
+	// over seeds.
+	novel := Task{
+		Workload: ops.ConvWorkload{N: 1, CIn: 512, H: 7, W: 7, COut: 512, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		Device: d,
+	}
+	var transfer, cold float64
+	for s := int64(1); s <= 5; s++ {
+		freshDB := NewDB("")
+		for i, w := range seeds {
+			Tune(Task{Workload: w, Device: d}, Options{Budget: 48, Seed: int64(i + 1)}, freshDB)
+		}
+		transfer += TransferSearch(novel, Options{Budget: 16, Seed: s}, freshDB).Ms
+		cold += RandomSearch(novel, Options{Budget: 16, Seed: s}).Ms
+	}
+	if transfer > cold*1.05 {
+		t.Fatalf("transfer mean %.4f ms should be <= cold random mean %.4f ms", transfer/5, cold/5)
+	}
+}
+
+func TestTransferSearchStoresResult(t *testing.T) {
+	db := NewDB("")
+	task := Task{
+		Workload: ops.ConvWorkload{N: 1, CIn: 16, H: 14, W: 14, COut: 16, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		Device: sim.MaliT860,
+	}
+	first := TransferSearch(task, Options{Budget: 16, Seed: 1}, db)
+	if db.Len() != 1 {
+		t.Fatal("result must be stored")
+	}
+	second := TransferSearch(task, Options{Budget: 16, Seed: 2}, db)
+	if second.Config != first.Config {
+		t.Fatal("second call must hit the database")
+	}
+}
+
+func TestTransferSearchColdFallback(t *testing.T) {
+	// With an empty database it degenerates to the cold model-guided
+	// search and still returns a sensible result.
+	task := testTask()
+	res := TransferSearch(task, Options{Budget: 24, Seed: 4}, NewDB(""))
+	cold := ModelGuidedSearch(task, Options{Budget: 24, Seed: 4})
+	if res.Ms != cold.Ms {
+		t.Fatalf("empty-db transfer (%.4f) should equal cold search (%.4f)", res.Ms, cold.Ms)
+	}
+}

@@ -1,0 +1,109 @@
+package baselines
+
+import (
+	"testing"
+
+	"unigpu/internal/models"
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		w    ops.ConvWorkload
+		want Class
+	}{
+		{ops.ConvWorkload{CIn: 64, H: 14, W: 14, COut: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, Conv3x3},
+		{ops.ConvWorkload{CIn: 64, H: 56, W: 56, COut: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, Conv3x3Big},
+		{ops.ConvWorkload{CIn: 64, H: 14, W: 14, COut: 256, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, Conv1x1},
+		{ops.ConvWorkload{CIn: 3, H: 224, W: 224, COut: 64, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}, ConvLarge},
+		{ops.ConvWorkload{CIn: 32, H: 28, W: 28, COut: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 32}, Depthwise},
+		{ops.ConvWorkload{CIn: 512, H: 1, W: 1, COut: 1000, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, DenseFC},
+	}
+	for _, c := range cases {
+		if got := Classify(c.w); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.w.Key(), got, c.want)
+		}
+	}
+}
+
+func TestForPlatform(t *testing.T) {
+	if ForPlatform(sim.DeepLens) != OpenVINO ||
+		ForPlatform(sim.AiSage) != ACL ||
+		ForPlatform(sim.JetsonNano) != CuDNN {
+		t.Fatal("platform-to-vendor mapping wrong (§4.1)")
+	}
+}
+
+func TestOpenVINOCoverageGap(t *testing.T) {
+	cls := models.Build("ResNet50_v1", 224, true)
+	det := models.Build("SSD_ResNet50", 128, true)
+	if !OpenVINO.Supports(cls) {
+		t.Fatal("OpenVINO supports classification models")
+	}
+	if OpenVINO.Supports(det) {
+		t.Fatal("OpenVINO must not support the detection models (Table 1's dashes)")
+	}
+	if _, ok := OpenVINO.ModelMs(det); ok {
+		t.Fatal("ModelMs must report the coverage gap")
+	}
+	if !ACL.Supports(det) || !CuDNN.Supports(det) {
+		t.Fatal("ACL and cuDNN cover detection (via framework paths)")
+	}
+}
+
+func TestBaselineLatencyPositiveAndOrdered(t *testing.T) {
+	small := models.Build("SqueezeNet1.0", 224, true)
+	big := models.Build("ResNet50_v1", 224, true)
+	for _, pr := range []*Profile{OpenVINO, ACL, CuDNN} {
+		s, ok := pr.ModelMs(small)
+		if !ok || s <= 0 {
+			t.Fatalf("%s: bad SqueezeNet latency %v", pr.Name, s)
+		}
+		b, _ := pr.ModelMs(big)
+		if b <= s {
+			t.Errorf("%s: ResNet50 (%.1f ms) should cost more than SqueezeNet (%.1f ms)", pr.Name, b, s)
+		}
+	}
+}
+
+func TestDetectionBaselinesIncludeCPUVisionTail(t *testing.T) {
+	det := models.Build("SSD_MobileNet1.0", 512, true)
+	for _, pr := range []*Profile{ACL, CuDNN} {
+		if v := pr.VisionMs(det); v <= 0 {
+			t.Errorf("%s: detection baseline must pay a CPU NMS tail, got %v", pr.Name, v)
+		}
+	}
+	cls := models.Build("MobileNet1.0", 224, true)
+	if ACL.VisionMs(cls) != 0 {
+		t.Error("classification models have no vision tail")
+	}
+}
+
+func TestProfilesMatchPaperBaselinesWithin15Pct(t *testing.T) {
+	// The fitted profiles should land near the published baseline numbers
+	// they were calibrated to.
+	targets := []struct {
+		pr    *Profile
+		model string
+		size  int
+		want  float64
+	}{
+		{OpenVINO, "ResNet50_v1", 224, 203.60},
+		{OpenVINO, "SqueezeNet1.0", 224, 42.01},
+		{ACL, "ResNet50_v1", 224, 358.17},
+		{ACL, "MobileNet1.0", 224, 95.00},
+		{CuDNN, "ResNet50_v1", 224, 117.22},
+		{CuDNN, "SqueezeNet1.0", 224, 42.98},
+	}
+	for _, c := range targets {
+		m := models.Build(c.model, c.size, true)
+		got, ok := c.pr.ModelMs(m)
+		if !ok {
+			t.Fatalf("%s should support %s", c.pr.Name, c.model)
+		}
+		if got < c.want*0.80 || got > c.want*1.20 {
+			t.Errorf("%s %s: %.1f ms vs paper %.1f ms (outside 20%%)", c.pr.Name, c.model, got, c.want)
+		}
+	}
+}

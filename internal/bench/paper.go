@@ -1,0 +1,81 @@
+package bench
+
+// Published numbers from the paper's evaluation, used by EXPERIMENTS.md
+// generation and the shape-checking tests (paper-vs-measured).
+
+// PaperRow holds (ours, baseline) milliseconds; baseline < 0 means
+// unsupported ("—").
+type PaperRow struct{ Ours, Baseline float64 }
+
+// PaperTables1to3 records Tables 1-3 keyed by table number then model.
+var PaperTables1to3 = map[int]map[string]PaperRow{
+	1: { // AWS DeepLens vs OpenVINO
+		"ResNet50_v1":      {186.15, 203.60},
+		"MobileNet1.0":     {85.58, 53.48},
+		"SqueezeNet1.0":    {52.10, 42.01},
+		"SSD_MobileNet1.0": {398.48, -1},
+		"SSD_ResNet50":     {1006.01, -1},
+		"Yolov3":           {1004.13, -1},
+	},
+	2: { // Acer aiSage vs ACL
+		"ResNet50_v1":      {345.60, 358.17},
+		"MobileNet1.0":     {78.83, 95.00},
+		"SqueezeNet1.0":    {66.61, 77.10},
+		"SSD_MobileNet1.0": {243.16, 216.87},
+		"SSD_ResNet50":     {777.26, 737.90},
+		"Yolov3":           {1097.47, 1042.90},
+	},
+	3: { // Nvidia Jetson Nano vs cuDNN
+		"ResNet50_v1":      {113.81, 117.22},
+		"MobileNet1.0":     {20.63, 30.71},
+		"SqueezeNet1.0":    {26.58, 42.98},
+		"SSD_MobileNet1.0": {135.5, 197.3},
+		"SSD_ResNet50":     {371.32, 478.33},
+		"Yolov3":           {553.79, 802.41},
+	},
+}
+
+// PaperAblation holds (before, after) milliseconds keyed by device then
+// model.
+type PaperAblation struct{ Before, After float64 }
+
+// PaperTable4 is the vision-specific-operator ablation.
+var PaperTable4 = map[string]map[string]PaperAblation{
+	"AWS DeepLens": {
+		"SSD_MobileNet1.0": {966.20, 398.48},
+		"SSD_ResNet50":     {1491.30, 1006.01},
+		"Yolov3":           {2610.13, 1004.13},
+	},
+	"Acer aiSage": {
+		"SSD_MobileNet1.0": {1098.11, 243.16},
+		"SSD_ResNet50":     {1631.30, 777.26},
+		"Yolov3":           {6429.69, 1097.47},
+	},
+	"Nvidia Jetson Nano": {
+		"SSD_MobileNet1.0": {264, 135.5},
+		"SSD_ResNet50":     {490.4, 371.32},
+		"Yolov3":           {1350, 553.79},
+	},
+}
+
+// PaperTable5 is the convolution-tuning ablation.
+var PaperTable5 = map[string]map[string]PaperAblation{
+	"AWS DeepLens": {
+		"ResNet50_v1":   {260, 186.15},
+		"MobileNet1.0":  {558.15, 85.58},
+		"SqueezeNet1.0": {64, 52.1},
+	},
+	"Acer aiSage": {
+		"ResNet50_v1":   {727.29, 345.6},
+		"MobileNet1.0":  {655.18, 78.83},
+		"SqueezeNet1.0": {1362.2, 106.61},
+	},
+	"Nvidia Jetson Nano": {
+		"ResNet50_v1":   {1088.55, 113.81},
+		"MobileNet1.0":  {155.14, 20.63},
+		"SqueezeNet1.0": {1045, 26.58},
+	},
+}
+
+// PaperFallback is the §3.1.2 measurement on DeepLens (SSD_ResNet50).
+var PaperFallback = FallbackResult{AllGPUMs: 1010.23, FallbackMs: 1015.14, OverheadPct: 0.49}

@@ -1,0 +1,217 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"unigpu/internal/ir"
+	"unigpu/internal/te"
+)
+
+func scheduledMatmul() *te.Kernel {
+	A := te.Placeholder("A", 8, 8)
+	B := te.Placeholder("B", 8, 8)
+	C := te.Sum("C", []int{8, 8}, []int{8}, func(ax, r []ir.Expr) ir.Expr {
+		return ir.Mul(A.Access(ax[0], r[0]), B.Access(r[0], ax[1]))
+	})
+	s := te.NewSchedule(C)
+	ax := s.SpatialAxes()
+	s.Bind(ax[0], ir.ForThreadBlock)
+	no, ni := s.Split(ax[1], 4)
+	s.Bind(no, ir.ForThread)
+	s.Vectorize(ni)
+	r := s.ReduceAxes()
+	_, ri := s.Split(r[0], 4)
+	s.Unroll(ri)
+	return te.Lower("matmul", s)
+}
+
+func TestEmitCUDA(t *testing.T) {
+	src := Emit(scheduledMatmul(), CUDA)
+	wants := []string{
+		`extern "C" __global__ void matmul(`,
+		"const float* __restrict__ A",
+		"float* __restrict__ C",
+		"blockIdx.x",
+		"threadIdx.x",
+		"#pragma unroll",
+		"float matmul_acc[1];",
+	}
+	for _, w := range wants {
+		if !strings.Contains(src, w) {
+			t.Errorf("CUDA source missing %q:\n%s", w, src)
+		}
+	}
+	if strings.Contains(src, "get_group_id") {
+		t.Error("CUDA source must not contain OpenCL intrinsics")
+	}
+}
+
+func TestEmitOpenCL(t *testing.T) {
+	src := Emit(scheduledMatmul(), OpenCL)
+	wants := []string{
+		"__kernel void matmul(",
+		"__global const float* restrict A",
+		"get_group_id(0)",
+		"get_local_id(0)",
+	}
+	for _, w := range wants {
+		if !strings.Contains(src, w) {
+			t.Errorf("OpenCL source missing %q:\n%s", w, src)
+		}
+	}
+	if strings.Contains(src, "blockIdx") {
+		t.Error("OpenCL source must not contain CUDA builtins")
+	}
+}
+
+func TestSameIRBothDialects(t *testing.T) {
+	// The unified-IR claim: one kernel emits in both dialects without
+	// re-lowering.
+	k := scheduledMatmul()
+	cu := Emit(k, CUDA)
+	cl := Emit(k, OpenCL)
+	if cu == "" || cl == "" || cu == cl {
+		t.Fatal("both dialects must emit distinct non-empty source")
+	}
+	// The loop structure (unrolled reduce split) survives in both.
+	for _, src := range []string{cu, cl} {
+		if !strings.Contains(src, "for (int") {
+			t.Error("emitted source should contain loops")
+		}
+	}
+}
+
+func TestLaunchConfig(t *testing.T) {
+	lc := Launch(scheduledMatmul())
+	if lc.Grid[0] != 8 || lc.Blocks != 8 {
+		t.Fatalf("grid = %v", lc.Grid)
+	}
+	if lc.Block[0] != 2 || lc.Threads != 2 {
+		t.Fatalf("block = %v", lc.Block)
+	}
+}
+
+func TestSubgroupEmission(t *testing.T) {
+	A := te.Placeholder("A", 16)
+	C := te.Compute("C", []int{16}, func(ax []ir.Expr) ir.Expr {
+		return &ir.Call{Fn: "intel_sub_group_shuffle", Args: []ir.Expr{A.Access(ax[0])}, Type: ir.Float32}
+	})
+	s := te.NewSchedule(C)
+	ax := s.SpatialAxes()
+	o, i := s.Split(ax[0], 8)
+	s.Bind(o, ir.ForThreadBlock)
+	s.Bind(i, ir.ForSubgroup)
+	k := te.Lower("shuf", s)
+
+	cl := Emit(k, OpenCL)
+	if !strings.Contains(cl, "get_sub_group_local_id()") {
+		t.Errorf("OpenCL should use the Intel subgroup extension:\n%s", cl)
+	}
+	if !strings.Contains(cl, "intel_sub_group_shuffle(") {
+		t.Errorf("OpenCL should keep the subgroup intrinsic:\n%s", cl)
+	}
+	cu := Emit(k, CUDA)
+	if !strings.Contains(cu, "__shfl_sync(0xffffffff,") {
+		t.Errorf("CUDA should lower subgroup shuffle to warp shuffle:\n%s", cu)
+	}
+}
+
+func TestSharedAllocationAndBarrier(t *testing.T) {
+	body := &ir.Allocate{Buffer: "smem", Type: ir.Float32, Size: ir.Imm(64), Scope: ir.ScopeShared,
+		Body: ir.SeqOf(
+			&ir.Store{Buffer: "smem", Index: ir.Imm(0), Value: ir.FImm(1)},
+			&ir.Barrier{Scope: ir.ScopeShared},
+			&ir.Store{Buffer: "out", Index: ir.Imm(0), Value: ir.LoadF("smem", ir.Imm(0))},
+		)}
+	out := te.Placeholder("out", 1)
+	k := &te.Kernel{Name: "stage", Output: out, Body: body}
+
+	cu := Emit(k, CUDA)
+	if !strings.Contains(cu, "__shared__ float smem[64];") || !strings.Contains(cu, "__syncthreads();") {
+		t.Errorf("CUDA shared/barrier emission wrong:\n%s", cu)
+	}
+	cl := Emit(k, OpenCL)
+	if !strings.Contains(cl, "__local float smem[64];") || !strings.Contains(cl, "barrier(CLK_LOCAL_MEM_FENCE);") {
+		t.Errorf("OpenCL shared/barrier emission wrong:\n%s", cl)
+	}
+}
+
+func TestMathIntrinsics(t *testing.T) {
+	A := te.Placeholder("A", 4)
+	C := te.Compute("C", []int{4}, func(ax []ir.Expr) ir.Expr {
+		e := &ir.Call{Fn: "exp", Args: []ir.Expr{A.Access(ax[0])}, Type: ir.Float32}
+		return ir.Max(e, ir.FImm(0))
+	})
+	k := te.Lower("m", te.NewSchedule(C))
+	cu := Emit(k, CUDA)
+	if !strings.Contains(cu, "expf(") || !strings.Contains(cu, "fmaxf(") {
+		t.Errorf("CUDA intrinsics wrong:\n%s", cu)
+	}
+	cl := Emit(k, OpenCL)
+	if !strings.Contains(cl, "exp(") || !strings.Contains(cl, "max(") {
+		t.Errorf("OpenCL intrinsics wrong:\n%s", cl)
+	}
+}
+
+func TestSelectEmitsTernary(t *testing.T) {
+	A := te.Placeholder("A", 4)
+	C := te.Compute("C", []int{4}, func(ax []ir.Expr) ir.Expr {
+		return te.If(ir.LT(A.Access(ax[0]), ir.FImm(0)), ir.FImm(0), A.Access(ax[0]))
+	})
+	src := Emit(te.Lower("relu", te.NewSchedule(C)), CUDA)
+	if !strings.Contains(src, "?") || !strings.Contains(src, ":") {
+		t.Errorf("select should emit a ternary (predication, no divergence):\n%s", src)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	if LineCount("a\n\n b\n") != 2 {
+		t.Fatal("LineCount should skip blank lines")
+	}
+	src := Emit(scheduledMatmul(), CUDA)
+	if LineCount(src) < 10 {
+		t.Fatalf("matmul kernel should be >10 lines, got %d", LineCount(src))
+	}
+}
+
+func TestUnitExtentLoopCollapses(t *testing.T) {
+	// Batch-1 loops become a const binding, not a for statement.
+	A := te.Placeholder("A", 1, 4)
+	C := te.Compute("C", []int{1, 4}, func(ax []ir.Expr) ir.Expr {
+		return A.Access(ax[0], ax[1])
+	})
+	src := Emit(te.Lower("copy", te.NewSchedule(C)), CUDA)
+	if strings.Contains(src, "for (int C_ax0") {
+		t.Errorf("extent-1 loop should collapse to a const:\n%s", src)
+	}
+	if !strings.Contains(src, "const int C_ax0 = 0;") {
+		t.Errorf("missing collapsed binding:\n%s", src)
+	}
+}
+
+func TestSplitAxisNamesAreValidC(t *testing.T) {
+	A := te.Placeholder("A", 16)
+	C := te.Compute("C", []int{16}, func(ax []ir.Expr) ir.Expr { return A.Access(ax[0]) })
+	s := te.NewSchedule(C)
+	ax := s.SpatialAxes()
+	o, i := s.Split(ax[0], 4)
+	_, ii := s.Split(i, 2)
+	s.Bind(o, ir.ForThreadBlock)
+	s.Unroll(ii)
+	for _, target := range []Target{CUDA, OpenCL} {
+		src := Emit(te.Lower("k", s), target)
+		for _, line := range strings.Split(src, "\n") {
+			if strings.Contains(line, ".o") || strings.Contains(line, ".i") {
+				t.Errorf("%s: identifier with dot leaked into source: %q", target, line)
+			}
+		}
+	}
+}
+
+func TestEmitIsPure(t *testing.T) {
+	k := scheduledMatmul()
+	if Emit(k, CUDA) != Emit(k, CUDA) {
+		t.Fatal("Emit must be deterministic and side-effect free")
+	}
+}

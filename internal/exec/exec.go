@@ -1,0 +1,251 @@
+// Package exec interprets lowered loop IR deterministically, playing the
+// role the CUDA/OpenCL driver plays on real silicon: it is how the stack
+// validates that a scheduled kernel computes the same function as the
+// reference operator, for every schedule the search visits.
+//
+// GPU-bound axes (blockIdx/threadIdx/subgroup) are iterated sequentially,
+// which is semantically equivalent for kernels whose threads do not
+// communicate through shared memory. Cooperative kernels — barriers between
+// thread phases, the stage-to-shared-then-compute pattern — are handled by
+// RunCooperative via barrier fission (see lockstep.go); Run itself rejects
+// raw barriers so silent mis-execution is impossible. The vision operators
+// additionally implement their algorithms natively in internal/vision and
+// validate against sequential references.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"unigpu/internal/ir"
+	"unigpu/internal/te"
+)
+
+// Env holds the buffers and scalar bindings visible to a kernel.
+type Env struct {
+	buffers map[string][]float32
+	scalars map[string]float64
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{buffers: map[string][]float32{}, scalars: map[string]float64{}}
+}
+
+// Bind attaches a named buffer.
+func (e *Env) Bind(name string, data []float32) { e.buffers[name] = data }
+
+// Buffer returns the named buffer, or nil.
+func (e *Env) Buffer(name string) []float32 { return e.buffers[name] }
+
+// RunKernel executes a lowered kernel with inputs and output bound by name.
+func RunKernel(k *te.Kernel, env *Env) error {
+	for _, in := range k.Inputs {
+		if env.Buffer(in) == nil {
+			return fmt.Errorf("exec: kernel %s input %q not bound", k.Name, in)
+		}
+	}
+	if env.Buffer(k.Output.Name) == nil {
+		return fmt.Errorf("exec: kernel %s output %q not bound", k.Name, k.Output.Name)
+	}
+	return Run(k.Body, env)
+}
+
+// Run executes a statement tree against the environment.
+func Run(s ir.Stmt, env *Env) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: %v", r)
+		}
+	}()
+	execStmt(s, env)
+	return nil
+}
+
+func execStmt(s ir.Stmt, env *Env) {
+	switch v := s.(type) {
+	case *ir.For:
+		lo := int(evalExpr(v.Min, env))
+		n := int(evalExpr(v.Extent, env))
+		name := v.Var.Name
+		saved, had := env.scalars[name]
+		for i := 0; i < n; i++ {
+			env.scalars[name] = float64(lo + i)
+			execStmt(v.Body, env)
+		}
+		if had {
+			env.scalars[name] = saved
+		} else {
+			delete(env.scalars, name)
+		}
+	case *ir.Store:
+		buf, ok := env.buffers[v.Buffer]
+		if !ok {
+			panic(fmt.Sprintf("store to unbound buffer %q", v.Buffer))
+		}
+		idx := int(evalExpr(v.Index, env))
+		if idx < 0 || idx >= len(buf) {
+			panic(fmt.Sprintf("store index %d out of range for %q (len %d)", idx, v.Buffer, len(buf)))
+		}
+		buf[idx] = float32(evalExpr(v.Value, env))
+	case *ir.LetStmt:
+		name := v.Var.Name
+		saved, had := env.scalars[name]
+		env.scalars[name] = evalExpr(v.Value, env)
+		execStmt(v.Body, env)
+		if had {
+			env.scalars[name] = saved
+		} else {
+			delete(env.scalars, name)
+		}
+	case *ir.IfThenElse:
+		if evalExpr(v.Cond, env) != 0 {
+			execStmt(v.Then, env)
+		} else if v.Else != nil {
+			execStmt(v.Else, env)
+		}
+	case *ir.Allocate:
+		size := int(evalExpr(v.Size, env))
+		saved, had := env.buffers[v.Buffer]
+		env.buffers[v.Buffer] = make([]float32, size)
+		execStmt(v.Body, env)
+		if had {
+			env.buffers[v.Buffer] = saved
+		} else {
+			delete(env.buffers, v.Buffer)
+		}
+	case *ir.Seq:
+		for _, st := range v.Stmts {
+			execStmt(st, env)
+		}
+	case *ir.Barrier:
+		// Sequential interpretation: only legal when threads do not
+		// communicate. Cooperative kernels must not be interpreted.
+		panic("barrier requires lockstep thread execution; cooperative kernels are validated natively (see internal/vision)")
+	case *ir.Evaluate:
+		evalExpr(v.Value, env)
+	default:
+		panic(fmt.Sprintf("unknown statement %T", s))
+	}
+}
+
+func evalExpr(e ir.Expr, env *Env) float64 {
+	switch v := e.(type) {
+	case *ir.Var:
+		val, ok := env.scalars[v.Name]
+		if !ok {
+			panic(fmt.Sprintf("unbound variable %q", v.Name))
+		}
+		return val
+	case *ir.IntImm:
+		return float64(v.Value)
+	case *ir.FloatImm:
+		return float64(v.Value)
+	case *ir.Binary:
+		a, b := evalExpr(v.A, env), evalExpr(v.B, env)
+		return evalBinary(v, a, b)
+	case *ir.Select:
+		if evalExpr(v.Cond, env) != 0 {
+			return evalExpr(v.A, env)
+		}
+		return evalExpr(v.B, env)
+	case *ir.Load:
+		buf, ok := env.buffers[v.Buffer]
+		if !ok {
+			panic(fmt.Sprintf("load from unbound buffer %q", v.Buffer))
+		}
+		idx := int(evalExpr(v.Index, env))
+		if idx < 0 || idx >= len(buf) {
+			panic(fmt.Sprintf("load index %d out of range for %q (len %d)", idx, v.Buffer, len(buf)))
+		}
+		return float64(buf[idx])
+	case *ir.Call:
+		return evalCall(v, env)
+	case *ir.Cast:
+		val := evalExpr(v.Value, env)
+		if v.To == ir.Int32 {
+			return float64(int(val))
+		}
+		if v.To == ir.Float32 {
+			return float64(float32(val))
+		}
+		return val
+	default:
+		panic(fmt.Sprintf("unknown expression %T", e))
+	}
+}
+
+func evalBinary(v *ir.Binary, a, b float64) float64 {
+	isInt := v.A.DType() == ir.Int32 && v.B.DType() == ir.Int32
+	switch v.Op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpDiv:
+		if isInt {
+			return float64(int(a) / int(b)) // truncating, like C and Go
+		}
+		return a / b
+	case ir.OpMod:
+		return float64(int(a) % int(b))
+	case ir.OpMin:
+		return math.Min(a, b)
+	case ir.OpMax:
+		return math.Max(a, b)
+	case ir.OpLT:
+		return b2f(a < b)
+	case ir.OpLE:
+		return b2f(a <= b)
+	case ir.OpGT:
+		return b2f(a > b)
+	case ir.OpGE:
+		return b2f(a >= b)
+	case ir.OpEQ:
+		return b2f(a == b)
+	case ir.OpNE:
+		return b2f(a != b)
+	case ir.OpAnd:
+		return b2f(a != 0 && b != 0)
+	case ir.OpOr:
+		return b2f(a != 0 || b != 0)
+	}
+	panic(fmt.Sprintf("unknown operator %v", v.Op))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalCall(c *ir.Call, env *Env) float64 {
+	args := make([]float64, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = evalExpr(a, env)
+	}
+	switch c.Fn {
+	case "exp":
+		return math.Exp(args[0])
+	case "log":
+		return math.Log(args[0])
+	case "sqrt":
+		return math.Sqrt(args[0])
+	case "abs":
+		return math.Abs(args[0])
+	case "floor":
+		return math.Floor(args[0])
+	case "sigmoid":
+		return 1 / (1 + math.Exp(-args[0]))
+	case "pow":
+		return math.Pow(args[0], args[1])
+	// The Intel subgroup primitives degenerate to plain data movement under
+	// sequential single-lane semantics.
+	case "intel_sub_group_block_read", "intel_sub_group_shuffle":
+		return args[0]
+	}
+	panic(fmt.Sprintf("unknown intrinsic %q", c.Fn))
+}

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"unigpu/internal/ir"
+)
+
+func run(t *testing.T, s ir.Stmt, bufs map[string][]float32) *Env {
+	t.Helper()
+	env := NewEnv()
+	for n, b := range bufs {
+		env.Bind(n, b)
+	}
+	if err := Run(s, env); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestForLoopAndStore(t *testing.T) {
+	i := ir.NewVar("i")
+	s := &ir.For{Var: i, Min: ir.Imm(2), Extent: ir.Imm(3), Kind: ir.ForSerial,
+		Body: &ir.Store{Buffer: "out", Index: ir.Sub(i, ir.Imm(2)), Value: ir.Mul(i, i)}}
+	out := make([]float32, 3)
+	run(t, s, map[string][]float32{"out": out})
+	want := []float32{4, 9, 16}
+	for k := range want {
+		if out[k] != want[k] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestLoopVariableScoping(t *testing.T) {
+	// An inner loop reusing a variable name must restore the outer value.
+	i := ir.NewVar("i")
+	inner := &ir.For{Var: ir.NewVar("i"), Min: ir.Imm(10), Extent: ir.Imm(1), Kind: ir.ForSerial,
+		Body: &ir.Store{Buffer: "tmp", Index: ir.Imm(0), Value: ir.Imm(0)}}
+	s := &ir.For{Var: i, Min: ir.Imm(0), Extent: ir.Imm(2), Kind: ir.ForSerial,
+		Body: ir.SeqOf(inner, &ir.Store{Buffer: "out", Index: i, Value: i})}
+	out := make([]float32, 2)
+	run(t, s, map[string][]float32{"out": out, "tmp": make([]float32, 1)})
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatalf("outer loop variable corrupted: %v", out)
+	}
+}
+
+func TestLetAndIf(t *testing.T) {
+	x := ir.NewVar("x")
+	s := &ir.LetStmt{Var: x, Value: ir.Imm(5),
+		Body: &ir.IfThenElse{
+			Cond: ir.LT(x, ir.Imm(10)),
+			Then: &ir.Store{Buffer: "out", Index: ir.Imm(0), Value: x},
+			Else: &ir.Store{Buffer: "out", Index: ir.Imm(0), Value: ir.Imm(-1)},
+		}}
+	out := make([]float32, 1)
+	run(t, s, map[string][]float32{"out": out})
+	if out[0] != 5 {
+		t.Fatalf("let/if = %v", out[0])
+	}
+}
+
+func TestAllocateScoping(t *testing.T) {
+	s := &ir.Allocate{Buffer: "scratch", Type: ir.Float32, Size: ir.Imm(4), Scope: ir.ScopeLocal,
+		Body: ir.SeqOf(
+			&ir.Store{Buffer: "scratch", Index: ir.Imm(1), Value: ir.FImm(3.5)},
+			&ir.Store{Buffer: "out", Index: ir.Imm(0), Value: ir.LoadF("scratch", ir.Imm(1))},
+		)}
+	out := make([]float32, 1)
+	env := run(t, s, map[string][]float32{"out": out})
+	if out[0] != 3.5 {
+		t.Fatalf("allocate = %v", out[0])
+	}
+	if env.Buffer("scratch") != nil {
+		t.Fatal("allocation must not leak out of its scope")
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	cases := []struct {
+		fn   string
+		arg  float64
+		want float64
+	}{
+		{"exp", 0, 1},
+		{"log", 1, 0},
+		{"sqrt", 9, 3},
+		{"abs", -2, 2},
+		{"floor", 2.7, 2},
+		{"sigmoid", 0, 0.5},
+	}
+	for _, c := range cases {
+		s := &ir.Store{Buffer: "out", Index: ir.Imm(0),
+			Value: &ir.Call{Fn: c.fn, Args: []ir.Expr{ir.FImm(float32(c.arg))}, Type: ir.Float32}}
+		out := make([]float32, 1)
+		run(t, s, map[string][]float32{"out": out})
+		if math.Abs(float64(out[0])-c.want) > 1e-6 {
+			t.Errorf("%s(%v) = %v, want %v", c.fn, c.arg, out[0], c.want)
+		}
+	}
+}
+
+func TestIntegerDivisionTruncates(t *testing.T) {
+	s := &ir.Store{Buffer: "out", Index: ir.Imm(0),
+		Value: ir.Div(ir.Add(ir.NewVar("a"), ir.Imm(0)), ir.NewVar("b"))}
+	out := make([]float32, 1)
+	env := NewEnv()
+	env.Bind("out", out)
+	env.scalars["a"] = 7
+	env.scalars["b"] = 2
+	if err := Run(s, env); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 {
+		t.Fatalf("7/2 = %v, want 3 (truncating int division)", out[0])
+	}
+}
+
+func TestErrorsAreReportedNotPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		s    ir.Stmt
+		want string
+	}{
+		{"unbound store", &ir.Store{Buffer: "nope", Index: ir.Imm(0), Value: ir.Imm(1)}, "unbound buffer"},
+		{"unbound load", &ir.Store{Buffer: "out", Index: ir.Imm(0), Value: ir.LoadF("nope", ir.Imm(0))}, "unbound buffer"},
+		{"oob store", &ir.Store{Buffer: "out", Index: ir.Imm(9), Value: ir.Imm(1)}, "out of range"},
+		{"unbound var", &ir.Store{Buffer: "out", Index: ir.NewVar("ghost"), Value: ir.Imm(1)}, "unbound variable"},
+		{"barrier", &ir.Barrier{Scope: ir.ScopeShared}, "lockstep"},
+		{"unknown intrinsic", &ir.Evaluate{Value: &ir.Call{Fn: "warp_vote", Type: ir.Float32}}, "unknown intrinsic"},
+	}
+	for _, c := range cases {
+		env := NewEnv()
+		env.Bind("out", make([]float32, 1))
+		err := Run(c.s, env)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSelectIsLazy(t *testing.T) {
+	// The untaken branch must not be evaluated: padding guards rely on it.
+	cond := ir.LT(ir.Imm(0), ir.Imm(1)) // true -> A
+	s := &ir.Store{Buffer: "out", Index: ir.Imm(0),
+		Value: &ir.Select{Cond: cond, A: ir.FImm(1), B: ir.LoadF("out", ir.Imm(99))}}
+	out := make([]float32, 1)
+	run(t, s, map[string][]float32{"out": out}) // would error if B evaluated
+	if out[0] != 1 {
+		t.Fatalf("select = %v", out[0])
+	}
+}
+
+func TestGPUAxisKindsIterateSequentially(t *testing.T) {
+	// blockIdx/threadIdx axes behave as loops under interpretation.
+	b := ir.NewVar("b")
+	tt := ir.NewVar("t")
+	s := &ir.For{Var: b, Min: ir.Imm(0), Extent: ir.Imm(2), Kind: ir.ForThreadBlock,
+		Body: &ir.For{Var: tt, Min: ir.Imm(0), Extent: ir.Imm(3), Kind: ir.ForThread,
+			Body: &ir.Store{Buffer: "out", Index: ir.Add(ir.Mul(b, ir.Imm(3)), tt), Value: ir.Imm(1)}}}
+	out := make([]float32, 6)
+	run(t, s, map[string][]float32{"out": out})
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("thread (%d) did not execute", i)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"unigpu/internal/ir"
+)
+
+// Barrier fission: a thread loop whose body is a sequence with top-level
+// barriers,
+//
+//	threadIdx t { phase0; barrier; phase1; ... }
+//
+// is semantically equivalent (for these synchronisation patterns) to
+// running each phase as a complete loop over the threads:
+//
+//	threadIdx t { phase0 }; threadIdx t { phase1 }; ...
+//
+// which a sequential interpreter can execute faithfully. This covers the
+// canonical cooperative GPU pattern — stage into shared memory, barrier,
+// compute — without needing true lockstep suspension. Kernels whose
+// barriers sit deeper (inside data-dependent control flow) remain
+// rejected, matching CUDA's own requirement that barriers be uniformly
+// executed.
+
+// fissionBarriers rewrites every GPU-thread loop containing top-level
+// barriers into a sequence of barrier-free thread loops. Returns the
+// rewritten statement.
+func fissionBarriers(s ir.Stmt) ir.Stmt {
+	switch v := s.(type) {
+	case *ir.For:
+		body := fissionBarriers(v.Body)
+		if v.Kind == ir.ForThread || v.Kind == ir.ForSubgroup {
+			phases := splitAtBarriers(body)
+			if len(phases) > 1 {
+				out := make([]ir.Stmt, len(phases))
+				for i, ph := range phases {
+					out[i] = &ir.For{Var: v.Var, Min: v.Min, Extent: v.Extent, Kind: v.Kind, Body: ph}
+				}
+				return ir.SeqOf(out...)
+			}
+		}
+		if body == v.Body {
+			return v
+		}
+		return &ir.For{Var: v.Var, Min: v.Min, Extent: v.Extent, Kind: v.Kind, Body: body}
+	case *ir.Seq:
+		changed := false
+		out := make([]ir.Stmt, len(v.Stmts))
+		for i, st := range v.Stmts {
+			out[i] = fissionBarriers(st)
+			changed = changed || out[i] != st
+		}
+		if !changed {
+			return v
+		}
+		return &ir.Seq{Stmts: out}
+	case *ir.Allocate:
+		body := fissionBarriers(v.Body)
+		if body == v.Body {
+			return v
+		}
+		return &ir.Allocate{Buffer: v.Buffer, Type: v.Type, Size: v.Size, Scope: v.Scope, Body: body}
+	case *ir.LetStmt:
+		body := fissionBarriers(v.Body)
+		if body == v.Body {
+			return v
+		}
+		return &ir.LetStmt{Var: v.Var, Value: v.Value, Body: body}
+	case *ir.IfThenElse:
+		then := fissionBarriers(v.Then)
+		var els ir.Stmt
+		if v.Else != nil {
+			els = fissionBarriers(v.Else)
+		}
+		if then == v.Then && els == v.Else {
+			return v
+		}
+		return &ir.IfThenElse{Cond: v.Cond, Then: then, Else: els}
+	default:
+		return s
+	}
+}
+
+// splitAtBarriers cuts a statement at its top-level barriers; a statement
+// without top-level barriers yields one phase.
+func splitAtBarriers(s ir.Stmt) []ir.Stmt {
+	seq, ok := s.(*ir.Seq)
+	if !ok {
+		if _, isBarrier := s.(*ir.Barrier); isBarrier {
+			return []ir.Stmt{ir.SeqOf()}
+		}
+		return []ir.Stmt{s}
+	}
+	var phases []ir.Stmt
+	var cur []ir.Stmt
+	for _, st := range seq.Stmts {
+		if _, isBarrier := st.(*ir.Barrier); isBarrier {
+			phases = append(phases, ir.SeqOf(cur...))
+			cur = nil
+			continue
+		}
+		cur = append(cur, st)
+	}
+	phases = append(phases, ir.SeqOf(cur...))
+	return phases
+}
+
+// RunCooperative executes a statement tree that may contain cooperative
+// (barrier-synchronised) thread loops, applying barrier fission first.
+// Shared allocations must enclose the thread loops they serve (the usual
+// kernel shape), so the staged data survives across phases.
+func RunCooperative(s ir.Stmt, env *Env) error {
+	return Run(fissionBarriers(s), env)
+}

@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"testing"
+
+	"unigpu/internal/ir"
+)
+
+// cooperativeReduction builds the canonical cooperative kernel: each
+// thread stages one element into shared memory, the block synchronises,
+// then thread 0 reduces the staged tile.
+//
+//	blockIdx b {
+//	  alloc shared[T] @shared
+//	  threadIdx t {
+//	    shared[t] = in[b*T + t]
+//	    barrier(shared)
+//	    if (t == 0) { acc = sum(shared); out[b] = acc }
+//	  }
+//	}
+func cooperativeReduction(blocks, threads int) ir.Stmt {
+	b := ir.NewVar("b")
+	t := ir.NewVar("t")
+	k := ir.NewVar("k")
+
+	sumLoop := &ir.For{Var: k, Min: ir.Imm(0), Extent: ir.Imm(threads), Kind: ir.ForSerial,
+		Body: &ir.Store{Buffer: "acc", Index: ir.Imm(0),
+			Value: ir.Add(ir.LoadF("acc", ir.Imm(0)), ir.LoadF("shared", k))}}
+	reduce := &ir.Allocate{Buffer: "acc", Type: ir.Float32, Size: ir.Imm(1), Scope: ir.ScopeLocal,
+		Body: ir.SeqOf(
+			&ir.Store{Buffer: "acc", Index: ir.Imm(0), Value: ir.FImm(0)},
+			sumLoop,
+			&ir.Store{Buffer: "out", Index: b, Value: ir.LoadF("acc", ir.Imm(0))},
+		)}
+
+	threadBody := ir.SeqOf(
+		&ir.Store{Buffer: "shared", Index: t, Value: ir.LoadF("in", ir.Add(ir.Mul(b, ir.Imm(threads)), t))},
+		&ir.Barrier{Scope: ir.ScopeShared},
+		&ir.IfThenElse{Cond: &ir.Binary{Op: ir.OpEQ, A: t, B: ir.Imm(0)}, Then: reduce},
+	)
+	return &ir.For{Var: b, Min: ir.Imm(0), Extent: ir.Imm(blocks), Kind: ir.ForThreadBlock,
+		Body: &ir.Allocate{Buffer: "shared", Type: ir.Float32, Size: ir.Imm(threads), Scope: ir.ScopeShared,
+			Body: &ir.For{Var: t, Min: ir.Imm(0), Extent: ir.Imm(threads), Kind: ir.ForThread,
+				Body: threadBody}}}
+}
+
+func TestRunCooperativeReduction(t *testing.T) {
+	blocks, threads := 3, 8
+	kernel := cooperativeReduction(blocks, threads)
+
+	in := make([]float32, blocks*threads)
+	var wants []float32
+	for b := 0; b < blocks; b++ {
+		var s float32
+		for i := 0; i < threads; i++ {
+			in[b*threads+i] = float32(b*100 + i)
+			s += in[b*threads+i]
+		}
+		wants = append(wants, s)
+	}
+	out := make([]float32, blocks)
+	env := NewEnv()
+	env.Bind("in", in)
+	env.Bind("out", out)
+	if err := RunCooperative(kernel, env); err != nil {
+		t.Fatal(err)
+	}
+	for b, want := range wants {
+		if out[b] != want {
+			t.Fatalf("block %d sum = %v, want %v", b, out[b], want)
+		}
+	}
+}
+
+func TestPlainRunRejectsBarriers(t *testing.T) {
+	// Without fission, the sequential interpreter must refuse (thread 0
+	// would read shared slots other threads have not written yet).
+	kernel := cooperativeReduction(1, 4)
+	env := NewEnv()
+	env.Bind("in", make([]float32, 4))
+	env.Bind("out", make([]float32, 1))
+	if err := Run(kernel, env); err == nil {
+		t.Fatal("plain Run must reject cooperative kernels")
+	}
+}
+
+func TestFissionSplitsPhases(t *testing.T) {
+	kernel := cooperativeReduction(1, 4)
+	rewritten := fissionBarriers(kernel)
+	barriers, threadLoops := 0, 0
+	ir.WalkStmt(rewritten, func(s ir.Stmt) bool {
+		switch v := s.(type) {
+		case *ir.Barrier:
+			barriers++
+		case *ir.For:
+			if v.Kind == ir.ForThread {
+				threadLoops++
+			}
+		}
+		return true
+	})
+	if barriers != 0 {
+		t.Fatalf("fission left %d barriers", barriers)
+	}
+	if threadLoops != 2 {
+		t.Fatalf("one barrier should split the thread loop into 2 phases, got %d", threadLoops)
+	}
+}
+
+func TestFissionNoOpWithoutBarriers(t *testing.T) {
+	i := ir.NewVar("i")
+	s := &ir.For{Var: i, Min: ir.Imm(0), Extent: ir.Imm(4), Kind: ir.ForThread,
+		Body: &ir.Store{Buffer: "out", Index: i, Value: i}}
+	if fissionBarriers(s) != ir.Stmt(s) {
+		t.Fatal("barrier-free kernels must pass through unchanged")
+	}
+}
+
+func TestRunCooperativeMultipleBarriers(t *testing.T) {
+	// Two barriers -> three phases: stage, square in place, copy out.
+	tvar := ir.NewVar("t")
+	threads := 5
+	body := ir.SeqOf(
+		&ir.Store{Buffer: "shared", Index: tvar, Value: ir.LoadF("in", tvar)},
+		&ir.Barrier{Scope: ir.ScopeShared},
+		// Read a neighbour (wraps) — only safe after the barrier.
+		&ir.Store{Buffer: "shared2", Index: tvar,
+			Value: ir.LoadF("shared", ir.Mod(ir.Add(tvar, ir.Imm(1)), ir.Imm(threads)))},
+		&ir.Barrier{Scope: ir.ScopeShared},
+		&ir.Store{Buffer: "out", Index: tvar, Value: ir.LoadF("shared2", tvar)},
+	)
+	kernel := &ir.Allocate{Buffer: "shared", Type: ir.Float32, Size: ir.Imm(threads), Scope: ir.ScopeShared,
+		Body: &ir.Allocate{Buffer: "shared2", Type: ir.Float32, Size: ir.Imm(threads), Scope: ir.ScopeShared,
+			Body: &ir.For{Var: tvar, Min: ir.Imm(0), Extent: ir.Imm(threads), Kind: ir.ForThread, Body: body}}}
+
+	in := []float32{10, 20, 30, 40, 50}
+	out := make([]float32, threads)
+	env := NewEnv()
+	env.Bind("in", in)
+	env.Bind("out", out)
+	if err := RunCooperative(kernel, env); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < threads; i++ {
+		if want := in[(i+1)%threads]; out[i] != want {
+			t.Fatalf("out[%d] = %v, want neighbour %v", i, out[i], want)
+		}
+	}
+}

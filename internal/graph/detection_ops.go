@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"unigpu/internal/tensor"
+	"unigpu/internal/vision"
+)
+
+// HeadReshapeOp rearranges one detection-head conv output
+// (1, A*K, h, w) into per-anchor rows (1, h*w*A, K), cell-major and
+// anchor-minor — the ordering MultiboxPrior emits. This is the
+// transpose+flatten the SSD head performs between its convolutions and
+// the multibox decoder.
+type HeadReshapeOp struct {
+	Anchors int // A
+	Attrs   int // K
+}
+
+func (o *HeadReshapeOp) Kind() string { return "head_reshape" }
+func (o *HeadReshapeOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	s := ins[0]
+	return tensor.Shape{s[0], s[2] * s[3] * o.Anchors, o.Attrs}
+}
+func (o *HeadReshapeOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	in := ins[0]
+	s := in.Shape()
+	batch, h, w := s[0], s[2], s[3]
+	out := tensor.New(batch, h*w*o.Anchors, o.Attrs)
+	for b := 0; b < batch; b++ {
+		for a := 0; a < o.Anchors; a++ {
+			for k := 0; k < o.Attrs; k++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						row := (y*w+x)*o.Anchors + a
+						out.Set(in.At(b, a*o.Attrs+k, y, x), b, row, k)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+func (o *HeadReshapeOp) GPUFriendly() bool { return true }
+
+// SSDDetectionOp decodes SSD heads given per-anchor rows; inputs:
+// clsRows (batch, anchors, classes+1) softmaxed scores with class 0 =
+// background, locRows (batch, anchors, 4), anchors (1, anchors, 4).
+type SSDDetectionOp struct{ Cfg vision.NMSConfig }
+
+func (o *SSDDetectionOp) Kind() string { return "multibox_detection" }
+func (o *SSDDetectionOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{ins[0][0], ins[0][1], vision.DetWidth}
+}
+func (o *SSDDetectionOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	clsRows, locRows, anchors := ins[0], ins[1], ins[2]
+	s := clsRows.Shape()
+	batch, num, k := s[0], s[1], s[2]
+	// Transpose rows into the (batch, classes, anchors) layout the vision
+	// kernel consumes.
+	clsProb := tensor.New(batch, k, num)
+	for b := 0; b < batch; b++ {
+		for a := 0; a < num; a++ {
+			for c := 0; c < k; c++ {
+				clsProb.Set(clsRows.At(b, a, c), b, c, a)
+			}
+		}
+	}
+	loc := locRows.Reshape(batch, num*4)
+	return vision.MultiboxDetection(clsProb, loc, anchors, o.Cfg)
+}
+func (o *SSDDetectionOp) GPUFriendly() bool { return true }

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"testing"
+
+	"unigpu/internal/tensor"
+	"unigpu/internal/vision"
+)
+
+func TestHeadReshapeOrdering(t *testing.T) {
+	// (1, A*K, h, w) -> (1, h*w*A, K), cell-major anchor-minor: the exact
+	// ordering MultiboxPrior emits.
+	a, k, h, w := 2, 3, 2, 2
+	op := &HeadReshapeOp{Anchors: a, Attrs: k}
+	in := tensor.New(1, a*k, h, w)
+	// Value encodes (anchor, attr, y, x) uniquely.
+	for ai := 0; ai < a; ai++ {
+		for ki := 0; ki < k; ki++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					in.Set(float32(ai*1000+ki*100+y*10+x), 0, ai*k+ki, y, x)
+				}
+			}
+		}
+	}
+	out := op.Execute([]*tensor.Tensor{in})
+	if !out.Shape().Equal(tensor.Shape{1, h * w * a, k}) {
+		t.Fatalf("shape = %v", out.Shape())
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for ai := 0; ai < a; ai++ {
+				row := (y*w+x)*a + ai
+				for ki := 0; ki < k; ki++ {
+					want := float32(ai*1000 + ki*100 + y*10 + x)
+					if got := out.At(0, row, ki); got != want {
+						t.Fatalf("row %d attr %d = %v, want %v", row, ki, got, want)
+					}
+				}
+			}
+		}
+	}
+	// InferShape agrees with Execute.
+	if !op.InferShape([]tensor.Shape{in.Shape()}).Equal(out.Shape()) {
+		t.Fatal("InferShape mismatch")
+	}
+}
+
+func TestSSDDetectionOpMatchesVisionKernel(t *testing.T) {
+	// Rows-layout decode must agree with the (classes, anchors) layout
+	// vision kernel it adapts.
+	numAnchors, numClasses := 4, 3 // incl. background
+	clsRows := tensor.New(1, numAnchors, numClasses)
+	clsRows.FillFunc(func(i int) float32 { return float32((i*7)%10) / 10 })
+	locRows := tensor.New(1, numAnchors, 4)
+	locRows.FillRandom(3)
+	anchors := tensor.New(1, numAnchors, 4)
+	for i := 0; i < numAnchors; i++ {
+		anchors.Set(float32(i)*0.2, 0, i, 0)
+		anchors.Set(0.1, 0, i, 1)
+		anchors.Set(float32(i)*0.2+0.15, 0, i, 2)
+		anchors.Set(0.3, 0, i, 3)
+	}
+	cfg := vision.NMSConfig{IoUThreshold: 0.5, ScoreThreshold: 0.05}
+	op := &SSDDetectionOp{Cfg: cfg}
+	got := op.Execute([]*tensor.Tensor{clsRows, locRows, anchors})
+
+	clsProb := tensor.New(1, numClasses, numAnchors)
+	for a := 0; a < numAnchors; a++ {
+		for c := 0; c < numClasses; c++ {
+			clsProb.Set(clsRows.At(0, a, c), 0, c, a)
+		}
+	}
+	want := vision.MultiboxDetection(clsProb, locRows.Reshape(1, numAnchors*4), anchors, cfg)
+	if !tensor.AllClose(got, want, 1e-6) {
+		t.Fatalf("SSDDetectionOp diverges from vision kernel: %g", tensor.MaxAbsDiff(got, want))
+	}
+	if !op.InferShape([]tensor.Shape{clsRows.Shape(), locRows.Shape(), anchors.Shape()}).Equal(got.Shape()) {
+		t.Fatal("InferShape mismatch")
+	}
+}
+
+func TestDetectionOpsAreGPUFriendly(t *testing.T) {
+	// §3.1.1: these are the operators this work makes GPU-resident.
+	for _, op := range []Operator{
+		&HeadReshapeOp{Anchors: 1, Attrs: 1},
+		&SSDDetectionOp{},
+		&BoxNMSOp{},
+		&YoloDecodeOp{Anchors: [][2]float32{{1, 1}}, NumClasses: 1, Stride: 8},
+		&ROIAlignOp{PooledH: 1, PooledW: 1, SpatialScale: 1},
+	} {
+		if !op.GPUFriendly() {
+			t.Errorf("%s should be GPU friendly in the optimized stack", op.Kind())
+		}
+	}
+}

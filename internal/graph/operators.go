@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"unigpu/internal/ops"
+	"unigpu/internal/tensor"
+	"unigpu/internal/vision"
+)
+
+// ConvOp is a 2-D convolution; inputs: data, weight[, bias].
+type ConvOp struct{ W ops.ConvWorkload }
+
+func (o *ConvOp) Kind() string { return "conv2d" }
+func (o *ConvOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{o.W.N, o.W.COut, o.W.OutH(), o.W.OutW()}
+}
+func (o *ConvOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	var bias *tensor.Tensor
+	if len(ins) > 2 {
+		bias = ins[2]
+	}
+	return ops.Conv2D(ins[0], ins[1], bias, o.W)
+}
+func (o *ConvOp) GPUFriendly() bool { return true }
+
+// BatchNormOp is inference-mode batch normalization; inputs: data, gamma,
+// beta, mean, variance. The fold pass removes it before execution.
+type BatchNormOp struct{ Eps float32 }
+
+func (o *BatchNormOp) Kind() string                               { return "batch_norm" }
+func (o *BatchNormOp) InferShape(ins []tensor.Shape) tensor.Shape { return ins[0].Clone() }
+func (o *BatchNormOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return ops.BatchNormInference(ins[0], ins[1], ins[2], ins[3], ins[4], o.Eps)
+}
+func (o *BatchNormOp) GPUFriendly() bool { return true }
+
+// ActivationOp is an elementwise activation.
+type ActivationOp struct {
+	Act   ops.Activation // ActReLU or ActLeakyReLU
+	Alpha float32        // leaky slope
+}
+
+func (o *ActivationOp) Kind() string {
+	if o.Act == ops.ActLeakyReLU {
+		return "leaky_relu"
+	}
+	return "relu"
+}
+func (o *ActivationOp) InferShape(ins []tensor.Shape) tensor.Shape { return ins[0].Clone() }
+func (o *ActivationOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	if o.Act == ops.ActLeakyReLU {
+		return ops.LeakyReLU(ins[0], o.Alpha)
+	}
+	return ops.ReLU(ins[0])
+}
+func (o *ActivationOp) GPUFriendly() bool { return true }
+
+// SigmoidOp is the logistic activation.
+type SigmoidOp struct{}
+
+func (o *SigmoidOp) Kind() string                                { return "sigmoid" }
+func (o *SigmoidOp) InferShape(ins []tensor.Shape) tensor.Shape  { return ins[0].Clone() }
+func (o *SigmoidOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Sigmoid(ins[0]) }
+func (o *SigmoidOp) GPUFriendly() bool                           { return true }
+
+// PoolOp is kernel×kernel max/avg pooling.
+type PoolOp struct {
+	PoolKind            ops.PoolKind
+	Kernel, Stride, Pad int
+}
+
+func (o *PoolOp) Kind() string { return "pool2d" }
+func (o *PoolOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	s := ins[0]
+	oh := (s[2]+2*o.Pad-o.Kernel)/o.Stride + 1
+	ow := (s[3]+2*o.Pad-o.Kernel)/o.Stride + 1
+	return tensor.Shape{s[0], s[1], oh, ow}
+}
+func (o *PoolOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return ops.Pool2D(ins[0], o.PoolKind, o.Kernel, o.Stride, o.Pad)
+}
+func (o *PoolOp) GPUFriendly() bool { return true }
+
+// GlobalPoolOp reduces each channel plane to 1×1.
+type GlobalPoolOp struct{}
+
+func (o *GlobalPoolOp) Kind() string { return "global_avg_pool" }
+func (o *GlobalPoolOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{ins[0][0], ins[0][1], 1, 1}
+}
+func (o *GlobalPoolOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return ops.GlobalAvgPool(ins[0])
+}
+func (o *GlobalPoolOp) GPUFriendly() bool { return true }
+
+// DenseOp is a fully connected layer; inputs: data, weight[, bias].
+type DenseOp struct{}
+
+func (o *DenseOp) Kind() string { return "dense" }
+func (o *DenseOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{ins[0][0], ins[1][0]}
+}
+func (o *DenseOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	var bias *tensor.Tensor
+	if len(ins) > 2 {
+		bias = ins[2]
+	}
+	return ops.Dense(ins[0], ins[1], bias)
+}
+func (o *DenseOp) GPUFriendly() bool { return true }
+
+// SoftmaxOp normalizes along the last axis.
+type SoftmaxOp struct{}
+
+func (o *SoftmaxOp) Kind() string                                { return "softmax" }
+func (o *SoftmaxOp) InferShape(ins []tensor.Shape) tensor.Shape  { return ins[0].Clone() }
+func (o *SoftmaxOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Softmax(ins[0]) }
+func (o *SoftmaxOp) GPUFriendly() bool                           { return true }
+
+// FlattenOp reshapes to (N, rest).
+type FlattenOp struct{}
+
+func (o *FlattenOp) Kind() string { return "flatten" }
+func (o *FlattenOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{ins[0][0], ins[0].NumElements() / ins[0][0]}
+}
+func (o *FlattenOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Flatten(ins[0]) }
+func (o *FlattenOp) GPUFriendly() bool                           { return true }
+
+// AddOp is an elementwise residual sum.
+type AddOp struct{}
+
+func (o *AddOp) Kind() string                                { return "add" }
+func (o *AddOp) InferShape(ins []tensor.Shape) tensor.Shape  { return ins[0].Clone() }
+func (o *AddOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Add(ins[0], ins[1]) }
+func (o *AddOp) GPUFriendly() bool                           { return true }
+
+// ConcatOp joins along axis 1 for rank-4 (channels) or rank-3 (detection
+// rows) tensors.
+type ConcatOp struct{}
+
+func (o *ConcatOp) Kind() string { return "concat" }
+func (o *ConcatOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	out := ins[0].Clone()
+	for _, s := range ins[1:] {
+		out[1] += s[1]
+	}
+	return out
+}
+func (o *ConcatOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	if ins[0].Rank() == 4 {
+		return ops.Concat(ins...)
+	}
+	// Rank-3 detection concat: (batch, rows, width).
+	s0 := ins[0].Shape()
+	batch, width := s0[0], s0[2]
+	total := 0
+	for _, t := range ins {
+		total += t.Shape()[1]
+	}
+	out := tensor.New(batch, total, width)
+	off := 0
+	for _, t := range ins {
+		rows := t.Shape()[1]
+		for b := 0; b < batch; b++ {
+			src := t.Data()[b*rows*width : (b+1)*rows*width]
+			dst := out.Data()[(b*total+off)*width : (b*total+off+rows)*width]
+			copy(dst, src)
+		}
+		off += rows
+	}
+	return out
+}
+func (o *ConcatOp) GPUFriendly() bool { return true }
+
+// UpsampleOp is 2x nearest-neighbour upsampling.
+type UpsampleOp struct{}
+
+func (o *UpsampleOp) Kind() string { return "upsample" }
+func (o *UpsampleOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	s := ins[0]
+	return tensor.Shape{s[0], s[1], 2 * s[2], 2 * s[3]}
+}
+func (o *UpsampleOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return ops.UpsampleNearest2x(ins[0])
+}
+func (o *UpsampleOp) GPUFriendly() bool { return true }
+
+// BoxNMSOp is the vision-specific non-maximum suppression (§3.1.1).
+type BoxNMSOp struct{ Cfg vision.NMSConfig }
+
+func (o *BoxNMSOp) Kind() string                               { return "box_nms" }
+func (o *BoxNMSOp) InferShape(ins []tensor.Shape) tensor.Shape { return ins[0].Clone() }
+func (o *BoxNMSOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return vision.BoxNMS(ins[0], o.Cfg)
+}
+func (o *BoxNMSOp) GPUFriendly() bool { return true }
+
+// MultiboxDetectionOp decodes SSD heads; inputs: clsProb, locPred, anchors.
+type MultiboxDetectionOp struct{ Cfg vision.NMSConfig }
+
+func (o *MultiboxDetectionOp) Kind() string { return "multibox_detection" }
+func (o *MultiboxDetectionOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{ins[0][0], ins[0][2], vision.DetWidth}
+}
+func (o *MultiboxDetectionOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return vision.MultiboxDetection(ins[0], ins[1], ins[2], o.Cfg)
+}
+func (o *MultiboxDetectionOp) GPUFriendly() bool { return true }
+
+// YoloDecodeOp decodes one YOLOv3 head.
+type YoloDecodeOp struct {
+	Anchors    [][2]float32
+	NumClasses int
+	Stride     int
+}
+
+func (o *YoloDecodeOp) Kind() string { return "yolo_decode" }
+func (o *YoloDecodeOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	s := ins[0]
+	return tensor.Shape{s[0], s[2] * s[3] * len(o.Anchors), vision.DetWidth}
+}
+func (o *YoloDecodeOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return vision.YoloDecode(ins[0], o.Anchors, o.NumClasses, o.Stride)
+}
+func (o *YoloDecodeOp) GPUFriendly() bool { return true }
+
+// ROIAlignOp extracts pooled region features; inputs: features, rois.
+type ROIAlignOp struct {
+	PooledH, PooledW int
+	SpatialScale     float32
+	SamplingRatio    int
+}
+
+func (o *ROIAlignOp) Kind() string { return "roi_align" }
+func (o *ROIAlignOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return tensor.Shape{ins[1][0], ins[0][1], o.PooledH, o.PooledW}
+}
+func (o *ROIAlignOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	return vision.ROIAlign(ins[0], ins[1], o.PooledH, o.PooledW, o.SpatialScale, o.SamplingRatio)
+}
+func (o *ROIAlignOp) GPUFriendly() bool { return true }
+
+// DeviceCopyOp is inserted by the placement pass between nodes on
+// different devices (§3.1.2). Functionally the identity; the runtime
+// charges it the CPU<->GPU handoff cost.
+type DeviceCopyOp struct{ To DeviceClass }
+
+func (o *DeviceCopyOp) Kind() string { return "device_copy" }
+func (o *DeviceCopyOp) InferShape(ins []tensor.Shape) tensor.Shape {
+	return ins[0].Clone()
+}
+func (o *DeviceCopyOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ins[0].Clone() }
+func (o *DeviceCopyOp) GPUFriendly() bool                           { return true }

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"unigpu/internal/ops"
+	"unigpu/internal/tensor"
+)
+
+// FoldBatchNorm folds every batch_norm whose data input is a conv2d with
+// constant weights into the convolution itself (§3.2.3: "pre-computing,
+// simplifying inference for batch-norm"): the conv weights are scaled per
+// output channel and the shift becomes (or adjusts) the conv bias. Returns
+// the number of batch norms folded.
+func FoldBatchNorm(g *Graph) int {
+	folded := 0
+	for _, n := range g.OpNodes() {
+		bn, ok := n.Op.(*BatchNormOp)
+		if !ok {
+			continue
+		}
+		conv := n.Inputs[0]
+		convOp, isConv := opAs[*ConvOp](conv)
+		if !isConv {
+			continue
+		}
+		weightNode := conv.Inputs[1]
+		if !weightNode.IsConstant() {
+			continue
+		}
+		gamma, beta, mean, variance := n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4]
+		if !gamma.IsConstant() || !beta.IsConstant() || !mean.IsConstant() || !variance.IsConstant() {
+			continue
+		}
+		scale, shift := ops.FoldBatchNorm(gamma.Value, beta.Value, mean.Value, variance.Value, bn.Eps)
+
+		// New weights: W'[o,...] = W[o,...] * scale[o].
+		w := weightNode.Value.Clone()
+		perOut := w.Size() / w.Shape()[0]
+		for o := 0; o < w.Shape()[0]; o++ {
+			s := scale.At(o)
+			for i := 0; i < perOut; i++ {
+				w.Data()[o*perOut+i] *= s
+			}
+		}
+		// New bias: b' = b*scale + shift.
+		b := shift.Clone()
+		if len(conv.Inputs) > 2 && conv.Inputs[2].IsConstant() {
+			old := conv.Inputs[2].Value
+			for o := 0; o < b.Size(); o++ {
+				b.Data()[o] += old.At(o) * scale.At(o)
+			}
+		}
+
+		newW := g.Constant(weightNode.Name+"_bnfold", w)
+		newB := g.Constant(conv.Name+"_bias_bnfold", b)
+		newOp := *convOp
+		newOp.W.HasBias = true
+		newConv := g.Apply(conv.Name+"_bn", &newOp, conv.Inputs[0], newW, newB)
+		g.replaceUses(n, newConv)
+		folded++
+	}
+	if folded > 0 {
+		g.EliminateDead()
+		resort(g)
+	}
+	return folded
+}
+
+// FuseActivations merges relu/leaky_relu nodes whose only producer is a
+// conv2d into the convolution's epilogue (operator fusion, §3.2.3).
+func FuseActivations(g *Graph) int {
+	consumers := g.Consumers()
+	fused := 0
+	for _, n := range g.OpNodes() {
+		act, ok := n.Op.(*ActivationOp)
+		if !ok {
+			continue
+		}
+		conv := n.Inputs[0]
+		convOp, isConv := opAs[*ConvOp](conv)
+		if !isConv || len(consumers[conv]) != 1 {
+			continue // conv feeds others too; cannot fuse
+		}
+		newOp := *convOp
+		newOp.W.FusedActivation = act.Act
+		conv.Op = &newOp
+		g.replaceUses(n, conv)
+		fused++
+	}
+	if fused > 0 {
+		g.EliminateDead()
+		resort(g)
+	}
+	return fused
+}
+
+// PrecomputeConstants evaluates operator nodes whose inputs are all
+// constants at compile time (e.g. multibox priors), turning them into
+// constant nodes. Returns the number of nodes pre-computed.
+func PrecomputeConstants(g *Graph) int {
+	done := 0
+	replaced := map[*Node]bool{}
+	for {
+		progress := false
+		for _, n := range g.OpNodes() {
+			if replaced[n] {
+				continue
+			}
+			allConst := len(n.Inputs) > 0
+			for _, in := range n.Inputs {
+				if !in.IsConstant() {
+					allConst = false
+					break
+				}
+			}
+			if !allConst {
+				continue
+			}
+			replaced[n] = true
+			vals := make([]*tensor.Tensor, len(n.Inputs))
+			for i, in := range n.Inputs {
+				vals[i] = in.Value
+			}
+			c := g.Constant(n.Name+"_precomputed", n.Op.Execute(vals))
+			g.replaceUses(n, c)
+			done++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	if done > 0 {
+		g.EliminateDead()
+		resort(g)
+	}
+	return done
+}
+
+// Optimize runs the standard graph-level pipeline.
+func Optimize(g *Graph) {
+	FoldBatchNorm(g)
+	FuseActivations(g)
+	PrecomputeConstants(g)
+	g.EliminateDead()
+}
+
+// PlacementOptions configures the two-pass fallback placement (§3.1.2).
+type PlacementOptions struct {
+	// FallbackKinds lists operator kinds NOT in the known-GPU-performant
+	// list: they are placed on the CPU. Empty means everything the
+	// operator itself declares GPU-friendly stays on the GPU.
+	FallbackKinds map[string]bool
+}
+
+// PlaceDevices implements the paper's simple two-pass heuristic: pass one
+// tags each node GPU if its operator is in the known-performant list (and
+// not forced to fall back), else CPU; pass two inserts a device_copy
+// between any two directly connected nodes on different devices. Returns
+// the number of copies inserted.
+func PlaceDevices(g *Graph, opts PlacementOptions) int {
+	// Pass 1: tag device properties.
+	for _, n := range g.Nodes {
+		if n.Op == nil {
+			n.Device = OnGPU // values live where their consumer runs; copies handle the rest
+			continue
+		}
+		if opts.FallbackKinds[n.Op.Kind()] || !n.Op.GPUFriendly() {
+			n.Device = OnCPU
+		} else {
+			n.Device = OnGPU
+		}
+	}
+	// Pass 2: insert copies on device-crossing edges.
+	copies := 0
+	for _, n := range g.OpNodes() {
+		if n.Op.Kind() == "device_copy" {
+			continue
+		}
+		for i, in := range n.Inputs {
+			if in.Op == nil {
+				continue // constants/inputs are visible to both (shared DRAM)
+			}
+			if in.Device != n.Device {
+				cp := g.Apply(in.Name+"_copy", &DeviceCopyOp{To: n.Device}, in)
+				cp.Device = n.Device
+				n.Inputs[i] = cp
+				copies++
+			}
+		}
+	}
+	resort(g)
+	return copies
+}
+
+// CopyBytes returns the total tensor bytes crossing devices, for the
+// fallback-overhead accounting.
+func CopyBytes(g *Graph) float64 {
+	var total float64
+	for _, n := range g.OpNodes() {
+		if n.Op.Kind() == "device_copy" {
+			total += 4 * float64(n.OutShape.NumElements())
+		}
+	}
+	return total
+}
+
+// resort re-establishes topological order after rewrites.
+func resort(g *Graph) {
+	state := map[*Node]int{} // 0 unvisited, 1 visiting, 2 done
+	var order []*Node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if state[n] != 0 {
+			return
+		}
+		state[n] = 1
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	// Keep every node currently in the graph, outputs last.
+	for _, n := range g.Nodes {
+		visit(n)
+	}
+	g.Nodes = order
+}
+
+// opAs extracts a typed operator from a node.
+func opAs[T Operator](n *Node) (T, bool) {
+	var zero T
+	if n.Op == nil {
+		return zero, false
+	}
+	op, ok := n.Op.(T)
+	return op, ok
+}
+
+// TotalConvFLOPs sums conv workload flops, the dominant compute.
+func TotalConvFLOPs(g *Graph) float64 {
+	var total float64
+	for _, n := range g.OpNodes() {
+		if c, ok := opAs[*ConvOp](n); ok {
+			total += c.W.FLOPs()
+		}
+	}
+	return total
+}

@@ -1,0 +1,196 @@
+// Package graphtuner implements the graph-level layout tuning of §3.2.3
+// (the GraphTuner box of Figure 1, after [26]): each convolution prefers a
+// data layout NCHW[x]c matching its best schedule's channel blocking, but
+// neighbouring convolutions that disagree on x pay a layout-transform
+// kernel between them. The tuner runs dynamic programming over the conv
+// sequence to minimise total (kernel + transform) time — trading a
+// per-kernel optimum against transformation overhead, exactly the
+// trade-off the paper describes.
+package graphtuner
+
+import (
+	"math"
+	"math/rand"
+
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+	"unigpu/internal/templates"
+)
+
+// Candidate is one (layout, schedule) choice for a conv node.
+type Candidate struct {
+	Block    int // channel block x of NCHW[x]c (1 = plain NCHW)
+	Config   templates.Config
+	KernelMs float64
+}
+
+// LayoutBlocks are the channel blockings considered per node.
+var LayoutBlocks = []int{1, 2, 4, 8, 16, 32}
+
+// CandidatesFor tunes the workload once per candidate layout: the search is
+// restricted to schedules whose output-channel blocking equals the layout
+// block, so the candidate's kernel time reflects operating natively in
+// that layout.
+func CandidatesFor(w ops.ConvWorkload, d *sim.Device, budget int, seed int64) []Candidate {
+	space := templates.ConfigSpace(w, d)
+	var out []Candidate
+	for _, b := range LayoutBlocks {
+		if b > w.COut {
+			continue
+		}
+		// A schedule is compatible with layout NCHW[b]c when its output-
+		// channel tile is a multiple of the block, so the kernel writes
+		// whole blocks.
+		var restricted []templates.Config
+		for _, c := range space {
+			if c.TileCo%b == 0 {
+				restricted = append(restricted, c)
+			}
+		}
+		if len(restricted) == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed + int64(b)))
+		best := Candidate{Block: b, KernelMs: math.Inf(1)}
+		trials := budget
+		if trials >= len(restricted) {
+			trials = len(restricted) // grid when affordable
+			for _, c := range restricted {
+				if ms := templates.CostMs(w, c, d); ms < best.KernelMs {
+					best.KernelMs = ms
+					best.Config = c
+				}
+			}
+		} else {
+			for i := 0; i < trials; i++ {
+				c := restricted[rng.Intn(len(restricted))]
+				if ms := templates.CostMs(w, c, d); ms < best.KernelMs {
+					best.KernelMs = ms
+					best.Config = c
+				}
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// TransformMs prices converting one activation of the workload's input
+// shape between channel blockings on the device: a bandwidth-bound
+// re-layout kernel plus launch overhead; free when the blocks agree.
+func TransformMs(w ops.ConvWorkload, fromBlock, toBlock int, d *sim.Device) float64 {
+	if fromBlock == toBlock {
+		return 0
+	}
+	elems := float64(w.N * w.CIn * w.H * w.W)
+	bytes := 2 * 4 * elems // read + write
+	return sim.CostFlopsBytes(d, 0, bytes, 1) * 1e3
+}
+
+// Plan is the tuner's decision for a conv sequence.
+type Plan struct {
+	Choices      []Candidate // one per workload
+	KernelMs     float64
+	TransformMs  float64
+	TotalMs      float64
+	TransformCnt int
+}
+
+// Optimize runs the DP over a topological conv sequence: state j at node i
+// is "node i runs in layout block j"; the transition charges the layout
+// transform between consecutive blocks. The first conv additionally pays
+// the NCHW -> blocked packing of the network input when it picks a blocked
+// layout.
+func Optimize(workloads []ops.ConvWorkload, cands [][]Candidate, d *sim.Device) Plan {
+	n := len(workloads)
+	if n == 0 {
+		return Plan{}
+	}
+	const inf = math.MaxFloat64
+	dp := make([][]float64, n)
+	arg := make([][]int, n)
+
+	dp[0] = make([]float64, len(cands[0]))
+	arg[0] = make([]int, len(cands[0]))
+	for j, c := range cands[0] {
+		dp[0][j] = c.KernelMs + TransformMs(workloads[0], 1, c.Block, d)
+	}
+	for i := 1; i < n; i++ {
+		dp[i] = make([]float64, len(cands[i]))
+		arg[i] = make([]int, len(cands[i]))
+		for j, c := range cands[i] {
+			best, bestK := inf, 0
+			for k, prev := range cands[i-1] {
+				t := dp[i-1][k] + TransformMs(workloads[i], prev.Block, c.Block, d)
+				if t < best {
+					best, bestK = t, k
+				}
+			}
+			dp[i][j] = best + c.KernelMs
+			arg[i][j] = bestK
+		}
+	}
+
+	// Backtrack from the cheapest final state.
+	bestJ, best := 0, inf
+	for j, v := range dp[n-1] {
+		if v < best {
+			best, bestJ = v, j
+		}
+	}
+	plan := Plan{Choices: make([]Candidate, n), TotalMs: best}
+	j := bestJ
+	for i := n - 1; i >= 0; i-- {
+		plan.Choices[i] = cands[i][j]
+		plan.KernelMs += cands[i][j].KernelMs
+		j = arg[i][j]
+	}
+	prev := 1
+	for i, c := range plan.Choices {
+		t := TransformMs(workloads[i], prev, c.Block, d)
+		if t > 0 {
+			plan.TransformCnt++
+		}
+		plan.TransformMs += t
+		prev = c.Block
+	}
+	return plan
+}
+
+// Greedy is the ablation baseline: every node takes its individually
+// fastest kernel and pays whatever transforms result.
+func Greedy(workloads []ops.ConvWorkload, cands [][]Candidate, d *sim.Device) Plan {
+	n := len(workloads)
+	plan := Plan{Choices: make([]Candidate, n)}
+	for i := range workloads {
+		best := Candidate{KernelMs: math.Inf(1)}
+		for _, c := range cands[i] {
+			if c.KernelMs < best.KernelMs {
+				best = c
+			}
+		}
+		plan.Choices[i] = best
+		plan.KernelMs += best.KernelMs
+	}
+	prev := 1
+	for i, c := range plan.Choices {
+		t := TransformMs(workloads[i], prev, c.Block, d)
+		if t > 0 {
+			plan.TransformCnt++
+		}
+		plan.TransformMs += t
+		prev = c.Block
+	}
+	plan.TotalMs = plan.KernelMs + plan.TransformMs
+	return plan
+}
+
+// TuneSequence is the convenience entry: generate candidates per node and
+// run the DP.
+func TuneSequence(workloads []ops.ConvWorkload, d *sim.Device, budget int, seed int64) Plan {
+	cands := make([][]Candidate, len(workloads))
+	for i, w := range workloads {
+		cands[i] = CandidatesFor(w, d, budget, seed)
+	}
+	return Optimize(workloads, cands, d)
+}

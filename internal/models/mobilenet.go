@@ -1,0 +1,62 @@
+package models
+
+import (
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+)
+
+// mobileNetBlocks are the 13 depthwise-separable blocks of MobileNet 1.0:
+// (output channels of the pointwise conv, stride of the depthwise conv).
+var mobileNetBlocks = []struct {
+	out, stride int
+}{
+	{64, 1},
+	{128, 2}, {128, 1},
+	{256, 2}, {256, 1},
+	{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+	{1024, 2}, {1024, 1},
+}
+
+// buildMobileNet constructs MobileNet1.0: a 3x3/2 stem followed by 13
+// depthwise-separable blocks, global pooling and the classifier. The
+// depthwise convolutions are the workloads the paper notes are not yet
+// fully optimized on Intel Graphics (§4.2).
+func buildMobileNet(size int, lite bool) *Model {
+	b := newBuilder(lite)
+	in := b.g.Input("data", 1, 3, size, size)
+	x := b.mobileNetBackbone(in)
+	x = b.g.Apply("gap", &graph.GlobalPoolOp{}, x)
+	x = b.g.Apply("flatten", &graph.FlattenOp{}, x)
+	x = b.dense("fc", x, 1000)
+	x = b.g.Apply("prob", &graph.SoftmaxOp{}, x)
+	b.g.SetOutputs(x)
+	return &Model{Graph: b.g, Convs: b.convs}
+}
+
+func (b *builder) mobileNetBackbone(in *graph.Node) *graph.Node {
+	x := b.conv("stem", in, 32, 3, 2, 1, 1, true, ops.ActReLU)
+	for _, blk := range mobileNetBlocks {
+		cin := x.OutShape[1]
+		x = b.conv("dw", x, cin, 3, blk.stride, 1, cin, true, ops.ActReLU)
+		x = b.conv("pw", x, blk.out, 1, 1, 0, 1, true, ops.ActReLU)
+	}
+	return x
+}
+
+// mobileNetSSDTaps returns the stride-8, stride-16 and stride-32 feature
+// maps used by the SSD head (after blocks 5, 11 and 13).
+func (b *builder) mobileNetSSDTaps(in *graph.Node) (t0, t1, t2 *graph.Node) {
+	x := b.conv("stem", in, 32, 3, 2, 1, 1, true, ops.ActReLU)
+	for i, blk := range mobileNetBlocks {
+		cin := x.OutShape[1]
+		x = b.conv("dw", x, cin, 3, blk.stride, 1, cin, true, ops.ActReLU)
+		x = b.conv("pw", x, blk.out, 1, 1, 0, 1, true, ops.ActReLU)
+		if i == 4 {
+			t0 = x
+		}
+		if i == 10 {
+			t1 = x
+		}
+	}
+	return t0, t1, x
+}

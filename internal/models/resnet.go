@@ -1,0 +1,84 @@
+package models
+
+import (
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+)
+
+// buildResNet50 constructs ResNet50_v1 (GluonCV): 7x7/2 stem, 3-4-6-3
+// bottleneck stages with 1x1 projection shortcuts, global average pooling
+// and a 1000-way classifier.
+func buildResNet50(size int, lite bool) *Model {
+	b := newBuilder(lite)
+	in := b.g.Input("data", 1, 3, size, size)
+
+	x := b.conv("stem", in, 64, 7, 2, 3, 1, true, ops.ActReLU)
+	x = b.maxpool("stem_pool", x, 3, 2, 1)
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	for si, st := range stages {
+		for blk := 0; blk < st.blocks; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = st.stride
+			}
+			x = b.bottleneck(x, st.mid, st.out, stride, si, blk)
+		}
+	}
+
+	x = b.g.Apply("gap", &graph.GlobalPoolOp{}, x)
+	x = b.g.Apply("flatten", &graph.FlattenOp{}, x)
+	x = b.dense("fc", x, 1000)
+	x = b.g.Apply("prob", &graph.SoftmaxOp{}, x)
+	b.g.SetOutputs(x)
+	return &Model{Graph: b.g, Convs: b.convs}
+}
+
+// bottleneck is the 1x1 -> 3x3 -> 1x1 residual block with an optional
+// projection shortcut.
+func (b *builder) bottleneck(x *graph.Node, mid, out, stride, stage, blk int) *graph.Node {
+	shortcut := x
+	needProj := x.OutShape[1] != out || stride != 1
+	y := b.conv("res_a", x, mid, 1, 1, 0, 1, true, ops.ActReLU)
+	y = b.conv("res_b", y, mid, 3, stride, 1, 1, true, ops.ActReLU)
+	y = b.conv("res_c", y, out, 1, 1, 0, 1, true, ops.ActNone)
+	if needProj {
+		shortcut = b.conv("res_proj", x, out, 1, stride, 0, 1, true, ops.ActNone)
+	}
+	sum := b.g.Apply(b.unique("res_add"), &graph.AddOp{}, y, shortcut)
+	return b.g.Apply(b.unique("res_relu"), &graph.ActivationOp{Act: ops.ActReLU}, sum)
+}
+
+// backboneResNet50 builds the ResNet50 feature extractor for SSD, returning
+// the stride-8, stride-16 and stride-32 feature maps (stages 2-4).
+func (b *builder) backboneResNet50(in *graph.Node) (c3, c4, c5 *graph.Node) {
+	x := b.conv("stem", in, 64, 7, 2, 3, 1, true, ops.ActReLU)
+	x = b.maxpool("stem_pool", x, 3, 2, 1)
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	var taps []*graph.Node
+	for si, st := range stages {
+		for blk := 0; blk < st.blocks; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = st.stride
+			}
+			x = b.bottleneck(x, st.mid, st.out, stride, si, blk)
+		}
+		taps = append(taps, x)
+	}
+	return taps[1], taps[2], taps[3]
+}

@@ -1,0 +1,44 @@
+package models
+
+import (
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+)
+
+// fire adds a SqueezeNet fire module: squeeze 1x1 -> parallel expand 1x1
+// and expand 3x3, concatenated on channels.
+func (b *builder) fire(x *graph.Node, squeeze, expand1, expand3 int) *graph.Node {
+	s := b.conv("fire_squeeze", x, squeeze, 1, 1, 0, 1, false, ops.ActReLU)
+	e1 := b.conv("fire_e1", s, expand1, 1, 1, 0, 1, false, ops.ActReLU)
+	e3 := b.conv("fire_e3", s, expand3, 3, 1, 1, 1, false, ops.ActReLU)
+	return b.g.Apply(b.unique("fire_concat"), &graph.ConcatOp{}, e1, e3)
+}
+
+// buildSqueezeNet constructs SqueezeNet 1.0: 7x7/2 stem, eight fire
+// modules with interleaved max pooling, and a fully convolutional
+// classifier head. Its many small 1x1 workloads are why untuned schedules
+// are catastrophic and tuning gains are the largest of Table 5.
+func buildSqueezeNet(size int, lite bool) *Model {
+	b := newBuilder(lite)
+	in := b.g.Input("data", 1, 3, size, size)
+
+	x := b.conv("stem", in, 96, 7, 2, 3, 1, false, ops.ActReLU)
+	x = b.maxpool("pool1", x, 3, 2, 0)
+	x = b.fire(x, 16, 64, 64)
+	x = b.fire(x, 16, 64, 64)
+	x = b.fire(x, 32, 128, 128)
+	x = b.maxpool("pool4", x, 3, 2, 0)
+	x = b.fire(x, 32, 128, 128)
+	x = b.fire(x, 48, 192, 192)
+	x = b.fire(x, 48, 192, 192)
+	x = b.fire(x, 64, 256, 256)
+	x = b.maxpool("pool8", x, 3, 2, 0)
+	x = b.fire(x, 64, 256, 256)
+
+	x = b.conv("conv10", x, 1000, 1, 1, 0, 1, false, ops.ActReLU)
+	x = b.g.Apply("gap", &graph.GlobalPoolOp{}, x)
+	x = b.g.Apply("flatten", &graph.FlattenOp{}, x)
+	x = b.g.Apply("prob", &graph.SoftmaxOp{}, x)
+	b.g.SetOutputs(x)
+	return &Model{Graph: b.g, Convs: b.convs}
+}

@@ -1,0 +1,104 @@
+package models
+
+import (
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+	"unigpu/internal/tensor"
+	"unigpu/internal/vision"
+)
+
+// ssdNumClasses is the VOC foreground class count of the GluonCV SSD
+// variants the paper evaluates.
+const ssdNumClasses = 20
+
+// ssdAnchorCounts is the anchors-per-cell schedule over the six feature
+// maps (strides 8, 16, 32, 64, 128, 256). With a 512x512 input this yields
+// ~24.5k candidate boxes, matching the classic SSD512 anchor budget; at
+// 300x300 it yields ~8.7k, matching SSD300.
+var ssdAnchorCounts = []int{4, 6, 6, 6, 4, 4}
+
+// ssdSizes are the normalized anchor scales per map.
+var ssdSizes = [][]float32{
+	{0.07, 0.1}, {0.15, 0.22}, {0.3, 0.37}, {0.45, 0.52}, {0.6, 0.67}, {0.8, 0.94},
+}
+
+// ssdRatios yields the ratio list producing the configured anchor count
+// (len(sizes) + len(ratios) - 1 anchors).
+func ssdRatios(anchors, numSizes int) []float32 {
+	all := []float32{1, 2, 0.5, 3, 1.0 / 3}
+	return all[:anchors-numSizes+1]
+}
+
+// buildSSD constructs SSD with the requested backbone: feature taps at
+// strides 16 and 32, three extra downsampling stages, per-map class and
+// location heads, pre-computed multibox priors, and the vision-specific
+// decode + NMS tail (§3.1).
+func buildSSD(size int, lite bool, backbone string) *Model {
+	b := newBuilder(lite)
+	in := b.g.Input("data", 1, 3, size, size)
+
+	var f0, f1, f2 *graph.Node
+	if backbone == "ResNet50_v1" {
+		f0, f1, f2 = b.backboneResNet50(in)
+	} else {
+		f0, f1, f2 = b.mobileNetSSDTaps(in)
+	}
+
+	// Extra feature layers: 1x1 squeeze + 3x3/2 downsample.
+	feats := []*graph.Node{f0, f1, f2}
+	x := f2
+	for i := 0; i < 3; i++ {
+		x = b.conv("extra_sq", x, 256, 1, 1, 0, 1, true, ops.ActReLU)
+		x = b.conv("extra_dn", x, 512, 3, 2, 1, 1, true, ops.ActReLU)
+		feats = append(feats, x)
+	}
+
+	// Per-map heads + priors.
+	var clsRows, locRows []*graph.Node
+	var priors []*tensor.Tensor
+	totalBoxes := 0
+	for i, f := range feats {
+		a := ssdAnchorCounts[i]
+		k := ssdNumClasses + 1
+		cls := b.conv("cls_head", f, a*k, 3, 1, 1, 1, false, ops.ActNone)
+		loc := b.conv("loc_head", f, a*4, 3, 1, 1, 1, false, ops.ActNone)
+		clsR := b.g.Apply(b.unique("cls_rows"), &graph.HeadReshapeOp{Anchors: a, Attrs: k}, cls)
+		clsR = b.g.Apply(b.unique("cls_prob"), &graph.SoftmaxOp{}, clsR)
+		locR := b.g.Apply(b.unique("loc_rows"), &graph.HeadReshapeOp{Anchors: a, Attrs: 4}, loc)
+		clsRows = append(clsRows, clsR)
+		locRows = append(locRows, locR)
+
+		fh, fw := f.OutShape[2], f.OutShape[3]
+		priors = append(priors, vision.MultiboxPrior(fh, fw, ssdSizes[i], ssdRatios(a, len(ssdSizes[i]))))
+		totalBoxes += fh * fw * a
+	}
+
+	clsAll := b.g.Apply("cls_concat", &graph.ConcatOp{}, clsRows...)
+	locAll := b.g.Apply("loc_concat", &graph.ConcatOp{}, locRows...)
+
+	// Priors depend only on shapes: pre-computed at build time (the
+	// constant pre-computation of §3.2.3).
+	anchorData := tensor.New(1, totalBoxes, 4)
+	off := 0
+	for _, p := range priors {
+		copy(anchorData.Data()[off:], p.Data())
+		off += p.Size()
+	}
+	anchors := b.g.Constant("anchors", anchorData)
+
+	det := b.g.Apply("detection", &graph.SSDDetectionOp{
+		Cfg: vision.NMSConfig{IoUThreshold: 0.45, ScoreThreshold: 0.01, TopK: 400, MaxOutput: 100},
+	}, clsAll, locAll, anchors)
+	b.g.SetOutputs(det)
+
+	return &Model{
+		Graph: b.g,
+		Convs: b.convs,
+		Vision: &VisionProfile{
+			Boxes:   totalBoxes,
+			Classes: ssdNumClasses,
+			Kept:    100,
+			Heads:   len(feats),
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package models
+
+import (
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+	"unigpu/internal/vision"
+)
+
+// yoloNumClasses is the COCO class count of GluonCV yolo3_darknet53_coco.
+const yoloNumClasses = 80
+
+// yoloAnchors are the standard YOLOv3 anchor sizes (input pixels) per head,
+// large-stride head first.
+var yoloAnchors = [][][2]float32{
+	{{116, 90}, {156, 198}, {373, 326}}, // stride 32
+	{{30, 61}, {62, 45}, {59, 119}},     // stride 16
+	{{10, 13}, {16, 30}, {33, 23}},      // stride 8
+}
+
+// darknetRes adds one Darknet-53 residual unit: 1x1 half-channels then 3x3
+// back, with a skip connection.
+func (b *builder) darknetRes(x *graph.Node, ch int) *graph.Node {
+	y := b.conv("dk_a", x, ch/2, 1, 1, 0, 1, true, ops.ActLeakyReLU)
+	y = b.conv("dk_b", y, ch, 3, 1, 1, 1, true, ops.ActLeakyReLU)
+	return b.g.Apply(b.unique("dk_add"), &graph.AddOp{}, y, x)
+}
+
+// buildYoloV3 constructs YOLOv3 on Darknet-53: the [1,2,8,8,4] residual
+// backbone, three detection heads with feature-pyramid upsampling routes,
+// per-head decode, and a final NMS over the concatenated detections.
+func buildYoloV3(size int, lite bool) *Model {
+	b := newBuilder(lite)
+	in := b.g.Input("data", 1, 3, size, size)
+
+	x := b.conv("stem", in, 32, 3, 1, 1, 1, true, ops.ActLeakyReLU)
+	stageBlocks := []int{1, 2, 8, 8, 4}
+	stageCh := []int{64, 128, 256, 512, 1024}
+	var taps []*graph.Node
+	for si, blocks := range stageBlocks {
+		x = b.conv("down", x, stageCh[si], 3, 2, 1, 1, true, ops.ActLeakyReLU)
+		for i := 0; i < blocks; i++ {
+			x = b.darknetRes(x, stageCh[si])
+		}
+		taps = append(taps, x)
+	}
+	c3, c4, c5 := taps[2], taps[3], taps[4] // strides 8, 16, 32
+
+	attrs := 3 * (5 + yoloNumClasses)
+	var dets []*graph.Node
+	totalBoxes := 0
+
+	// Head 1 (stride 32).
+	h1, route1 := b.yoloHead(c5, 512)
+	out1 := b.conv("out1", h1, attrs, 1, 1, 0, 1, false, ops.ActNone)
+	dets = append(dets, b.g.Apply("decode1", &graph.YoloDecodeOp{
+		Anchors: yoloAnchors[0], NumClasses: yoloNumClasses, Stride: 32}, out1))
+	totalBoxes += out1.OutShape[2] * out1.OutShape[3] * 3
+
+	// Head 2 (stride 16): route up + concat with c4.
+	r := b.conv("route1", route1, 256, 1, 1, 0, 1, true, ops.ActLeakyReLU)
+	r = b.g.Apply("up1", &graph.UpsampleOp{}, r)
+	merged := b.g.Apply("cat1", &graph.ConcatOp{}, r, c4)
+	h2, route2 := b.yoloHead(merged, 256)
+	out2 := b.conv("out2", h2, attrs, 1, 1, 0, 1, false, ops.ActNone)
+	dets = append(dets, b.g.Apply("decode2", &graph.YoloDecodeOp{
+		Anchors: yoloAnchors[1], NumClasses: yoloNumClasses, Stride: 16}, out2))
+	totalBoxes += out2.OutShape[2] * out2.OutShape[3] * 3
+
+	// Head 3 (stride 8).
+	r2 := b.conv("route2", route2, 128, 1, 1, 0, 1, true, ops.ActLeakyReLU)
+	r2 = b.g.Apply("up2", &graph.UpsampleOp{}, r2)
+	merged2 := b.g.Apply("cat2", &graph.ConcatOp{}, r2, c3)
+	h3, _ := b.yoloHead(merged2, 128)
+	out3 := b.conv("out3", h3, attrs, 1, 1, 0, 1, false, ops.ActNone)
+	dets = append(dets, b.g.Apply("decode3", &graph.YoloDecodeOp{
+		Anchors: yoloAnchors[2], NumClasses: yoloNumClasses, Stride: 8}, out3))
+	totalBoxes += out3.OutShape[2] * out3.OutShape[3] * 3
+
+	all := b.g.Apply("det_concat", &graph.ConcatOp{}, dets...)
+	nms := b.g.Apply("nms", &graph.BoxNMSOp{
+		Cfg: vision.NMSConfig{IoUThreshold: 0.45, ScoreThreshold: 0.01, TopK: 400, MaxOutput: 100},
+	}, all)
+	b.g.SetOutputs(nms)
+
+	return &Model{
+		Graph: b.g,
+		Convs: b.convs,
+		Vision: &VisionProfile{
+			Boxes:   totalBoxes,
+			Classes: yoloNumClasses,
+			Kept:    100,
+			Heads:   3,
+		},
+	}
+}
+
+// yoloHead is the five-conv neck: alternating 1x1/3x3. It returns the
+// 3x3-expanded feature for the output conv and the 1x1 route tap.
+func (b *builder) yoloHead(x *graph.Node, ch int) (headOut, route *graph.Node) {
+	x = b.conv("neck_a", x, ch, 1, 1, 0, 1, true, ops.ActLeakyReLU)
+	x = b.conv("neck_b", x, ch*2, 3, 1, 1, 1, true, ops.ActLeakyReLU)
+	x = b.conv("neck_c", x, ch, 1, 1, 0, 1, true, ops.ActLeakyReLU)
+	x = b.conv("neck_d", x, ch*2, 3, 1, 1, 1, true, ops.ActLeakyReLU)
+	route = b.conv("neck_e", x, ch, 1, 1, 0, 1, true, ops.ActLeakyReLU)
+	headOut = b.conv("neck_f", route, ch*2, 3, 1, 1, 1, true, ops.ActLeakyReLU)
+	return headOut, route
+}

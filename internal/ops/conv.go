@@ -1,0 +1,123 @@
+package ops
+
+import (
+	"runtime"
+	"sync"
+
+	"unigpu/internal/tensor"
+)
+
+// Conv2D computes a (possibly grouped/depthwise) 2-D convolution in NCHW
+// with OIHW weights, optional bias, and an optional fused activation. The
+// spatial-output loop is parallelized across host cores.
+func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
+	oh, ow := w.OutH(), w.OutW()
+	out := tensor.New(w.N, w.COut, oh, ow)
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+
+	ind := in.Data()
+	wd := weight.Data()
+	od := out.Data()
+
+	parallelFor(w.N*w.COut, func(job int) {
+		n := job / w.COut
+		co := job % w.COut
+		grp := co / coutPerG
+		ciBase := grp * cinPerG
+		var b float32
+		if bias != nil {
+			b = bias.Data()[co]
+		}
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				sum := b
+				for ci := 0; ci < cinPerG; ci++ {
+					wBase := ((co * cinPerG) + ci) * w.KH * w.KW
+					iBase := (n*w.CIn + ciBase + ci) * w.H * w.W
+					for ky := 0; ky < w.KH; ky++ {
+						iy := y*w.StrideH - w.PadH + ky
+						if iy < 0 || iy >= w.H {
+							continue
+						}
+						for kx := 0; kx < w.KW; kx++ {
+							ix := x*w.StrideW - w.PadW + kx
+							if ix < 0 || ix >= w.W {
+								continue
+							}
+							sum += ind[iBase+iy*w.W+ix] * wd[wBase+ky*w.KW+kx]
+						}
+					}
+				}
+				od[((n*w.COut+co)*oh+y)*ow+x] = applyActivation(sum, w.FusedActivation)
+			}
+		}
+	})
+	return out
+}
+
+func applyActivation(v float32, a Activation) float32 {
+	switch a {
+	case ActReLU:
+		if v < 0 {
+			return 0
+		}
+	case ActLeakyReLU:
+		if v < 0 {
+			return 0.1 * v
+		}
+	}
+	return v
+}
+
+// parallelFor runs jobs [0,n) across host cores.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Dense computes out[n,o] = sum_i in[n,i]*W[o,i] + bias[o].
+func Dense(in, weight, bias *tensor.Tensor) *tensor.Tensor {
+	n := in.Shape()[0]
+	k := in.Shape()[1]
+	o := weight.Shape()[0]
+	out := tensor.New(n, o)
+	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	parallelFor(n*o, func(job int) {
+		ni, oi := job/o, job%o
+		var sum float32
+		if bias != nil {
+			sum = bias.Data()[oi]
+		}
+		for i := 0; i < k; i++ {
+			sum += ind[ni*k+i] * wd[oi*k+i]
+		}
+		od[ni*o+oi] = sum
+	})
+	return out
+}

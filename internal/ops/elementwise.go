@@ -1,0 +1,170 @@
+package ops
+
+import (
+	"math"
+
+	"unigpu/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// LeakyReLU applies x<0 ? alpha*x : x elementwise.
+func LeakyReLU(in *tensor.Tensor, alpha float32) *tensor.Tensor {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = alpha * v
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// Add computes the elementwise sum of two same-shape tensors (residual
+// connections).
+func Add(a, b *tensor.Tensor) *tensor.Tensor {
+	if !a.Shape().Equal(b.Shape()) {
+		panic("ops: Add shape mismatch " + a.Shape().String() + " vs " + b.Shape().String())
+	}
+	out := a.Clone()
+	d, bd := out.Data(), b.Data()
+	for i := range d {
+		d[i] += bd[i]
+	}
+	return out
+}
+
+// BatchNormInference applies the folded affine form of batch norm:
+// y = gamma * (x - mean) / sqrt(var + eps) + beta, per channel (NCHW).
+func BatchNormInference(in, gamma, beta, mean, variance *tensor.Tensor, eps float32) *tensor.Tensor {
+	s := in.Shape()
+	c, hw := s[1], s[2]*s[3]
+	out := in.Clone()
+	d := out.Data()
+	for n := 0; n < s[0]; n++ {
+		for ci := 0; ci < c; ci++ {
+			scale := gamma.Data()[ci] / float32(math.Sqrt(float64(variance.Data()[ci]+eps)))
+			shift := beta.Data()[ci] - mean.Data()[ci]*scale
+			base := (n*c + ci) * hw
+			for i := 0; i < hw; i++ {
+				d[base+i] = d[base+i]*scale + shift
+			}
+		}
+	}
+	return out
+}
+
+// FoldBatchNorm rewrites (gamma, beta, mean, var) into the equivalent
+// (scale, shift) pair used after constant pre-computation (§3.2.3
+// "simplifying inference for batch-norm").
+func FoldBatchNorm(gamma, beta, mean, variance *tensor.Tensor, eps float32) (scale, shift *tensor.Tensor) {
+	c := gamma.Shape()[0]
+	scale, shift = tensor.New(c), tensor.New(c)
+	for i := 0; i < c; i++ {
+		sc := gamma.Data()[i] / float32(math.Sqrt(float64(variance.Data()[i]+eps)))
+		scale.Data()[i] = sc
+		shift.Data()[i] = beta.Data()[i] - mean.Data()[i]*sc
+	}
+	return scale, shift
+}
+
+// Softmax normalizes along the last axis.
+func Softmax(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	last := s[len(s)-1]
+	rows := in.Size() / last
+	out := in.Clone()
+	d := out.Data()
+	for r := 0; r < rows; r++ {
+		row := d[r*last : (r+1)*last]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			row[i] = float32(e)
+			sum += e
+		}
+		for i := range row {
+			row[i] = float32(float64(row[i]) / sum)
+		}
+	}
+	return out
+}
+
+// Concat joins tensors along the channel axis (axis 1, NCHW).
+func Concat(ts ...*tensor.Tensor) *tensor.Tensor {
+	if len(ts) == 0 {
+		panic("ops: Concat of nothing")
+	}
+	s0 := ts[0].Shape()
+	n, h, w := s0[0], s0[2], s0[3]
+	totalC := 0
+	for _, t := range ts {
+		s := t.Shape()
+		if s[0] != n || s[2] != h || s[3] != w {
+			panic("ops: Concat non-channel dims must match")
+		}
+		totalC += s[1]
+	}
+	out := tensor.New(n, totalC, h, w)
+	cOff := 0
+	for _, t := range ts {
+		c := t.Shape()[1]
+		for ni := 0; ni < n; ni++ {
+			src := t.Data()[ni*c*h*w : (ni+1)*c*h*w]
+			dst := out.Data()[(ni*totalC+cOff)*h*w : (ni*totalC+cOff+c)*h*w]
+			copy(dst, src)
+		}
+		cOff += c
+	}
+	return out
+}
+
+// UpsampleNearest2x doubles spatial resolution by nearest neighbour (the
+// YOLOv3 route/upsample block).
+func UpsampleNearest2x(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	out := tensor.New(n, c, 2*h, 2*w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < 2*h; y++ {
+				for x := 0; x < 2*w; x++ {
+					out.Set(in.At(ni, ci, y/2, x/2), ni, ci, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Flatten reshapes (N, C, H, W) to (N, C*H*W).
+func Flatten(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	return in.Reshape(s[0], in.Size()/s[0])
+}

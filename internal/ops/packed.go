@@ -1,0 +1,75 @@
+package ops
+
+import (
+	"unigpu/internal/tensor"
+)
+
+// Conv2DPacked computes a dense 2-D convolution operating natively in the
+// blocked NCHW[b]c activation layout with OIHW[b]o weights — the layout
+// family the graph tuner assigns (§3.2.3). Blocked layouts keep the
+// innermost dimension a fixed SIMD-friendly channel block, which is what
+// the vectorized schedules the tuner selects assume.
+//
+// in is (N, ceil(CIn/b), H, W, b); weight is (ceil(COut/b), CIn, KH, KW, b)
+// from tensor.ConvertOIHW; the result is (N, ceil(COut/b), OutH, OutW, b).
+// Channels beyond CIn/COut are zero padding.
+func Conv2DPacked(in, weight, bias *tensor.Tensor, w ConvWorkload, block int) *tensor.Tensor {
+	if w.Groups > 1 {
+		panic("ops: packed layout supports dense convolutions only")
+	}
+	oh, ow := w.OutH(), w.OutW()
+	coBlocks := (w.COut + block - 1) / block
+	ciBlocks := (w.CIn + block - 1) / block
+	out := tensor.New(w.N, coBlocks, oh, ow, block)
+
+	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	inStrideCB := w.H * w.W * block // one input channel block plane
+	parallelFor(w.N*coBlocks, func(job int) {
+		n := job / coBlocks
+		cb := job % coBlocks
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := make([]float32, block)
+				if bias != nil {
+					for v := 0; v < block; v++ {
+						if co := cb*block + v; co < w.COut {
+							acc[v] = bias.Data()[co]
+						}
+					}
+				}
+				for ib := 0; ib < ciBlocks; ib++ {
+					for ic := 0; ic < block; ic++ {
+						ci := ib*block + ic
+						if ci >= w.CIn {
+							break
+						}
+						for ky := 0; ky < w.KH; ky++ {
+							iy := y*w.StrideH - w.PadH + ky
+							if iy < 0 || iy >= w.H {
+								continue
+							}
+							for kx := 0; kx < w.KW; kx++ {
+								ix := x*w.StrideW - w.PadW + kx
+								if ix < 0 || ix >= w.W {
+									continue
+								}
+								iv := ind[(n*ciBlocks+ib)*inStrideCB+(iy*w.W+ix)*block+ic]
+								wBase := ((cb*w.CIn+ci)*w.KH+ky)*w.KW*block + kx*block
+								// The innermost loop runs over the output
+								// channel block: the vectorizable axis.
+								for v := 0; v < block; v++ {
+									acc[v] += iv * wd[wBase+v]
+								}
+							}
+						}
+					}
+				}
+				oBase := ((n*coBlocks+cb)*oh+y)*ow*block + x*block
+				for v := 0; v < block; v++ {
+					od[oBase+v] = applyActivation(acc[v], w.FusedActivation)
+				}
+			}
+		}
+	})
+	return out
+}

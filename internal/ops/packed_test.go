@@ -1,0 +1,85 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unigpu/internal/tensor"
+)
+
+func TestConv2DPackedMatchesPlain(t *testing.T) {
+	cases := []struct {
+		w     ConvWorkload
+		block int
+	}{
+		{ConvWorkload{N: 1, CIn: 8, H: 10, W: 10, COut: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, 4},
+		{ConvWorkload{N: 2, CIn: 6, H: 7, W: 9, COut: 10, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}, 4}, // non-dividing channels
+		{ConvWorkload{N: 1, CIn: 16, H: 6, W: 6, COut: 8, KH: 1, KW: 1, StrideH: 1, StrideW: 1}, 8},
+		{ConvWorkload{N: 1, CIn: 5, H: 8, W: 8, COut: 7, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2, HasBias: true, FusedActivation: ActReLU}, 2},
+	}
+	for _, c := range cases {
+		w, block := c.w, c.block
+		in := tensor.New(w.N, w.CIn, w.H, w.W)
+		in.FillRandom(3)
+		weight := tensor.New(w.COut, w.CIn, w.KH, w.KW)
+		weight.FillRandom(4)
+		var bias *tensor.Tensor
+		if w.HasBias {
+			bias = tensor.New(w.COut)
+			bias.FillRandom(5)
+		}
+		want := Conv2D(in, weight, bias, w)
+
+		packedIn := tensor.ConvertNCHW(in, "NCHW", tensor.Layout(blockedLayout(block)), w.N, w.CIn, w.H, w.W)
+		packedW := tensor.ConvertOIHW(weight, block)
+		packedOut := Conv2DPacked(packedIn, packedW, bias, w, block)
+
+		back := tensor.ConvertNCHW(packedOut, tensor.Layout(blockedLayout(block)), "NCHW",
+			w.N, w.COut, w.OutH(), w.OutW())
+		if !tensor.AllClose(back, want, 1e-4) {
+			t.Errorf("%s block %d: packed conv diverges (max diff %g)",
+				w.Key(), block, tensor.MaxAbsDiff(back, want))
+		}
+	}
+}
+
+func blockedLayout(b int) string {
+	switch b {
+	case 2:
+		return "NCHW2c"
+	case 4:
+		return "NCHW4c"
+	case 8:
+		return "NCHW8c"
+	}
+	return "NCHW"
+}
+
+func TestConv2DPackedRejectsGrouped(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("grouped conv should panic in packed layout")
+		}
+	}()
+	w := ConvWorkload{N: 1, CIn: 4, H: 4, W: 4, COut: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 4}
+	Conv2DPacked(tensor.New(1, 1, 4, 4, 4), tensor.New(1, 4, 3, 3, 4), nil, w, 4)
+}
+
+func TestPropertyPackedConvAnyBlock(t *testing.T) {
+	f := func(seed int64, blkRaw uint8) bool {
+		block := []int{2, 4, 8}[int(blkRaw)%3]
+		w := ConvWorkload{N: 1, CIn: 5, H: 6, W: 6, COut: 9, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		in := tensor.New(w.N, w.CIn, w.H, w.W)
+		in.FillRandom(seed)
+		weight := tensor.New(w.COut, w.CIn, w.KH, w.KW)
+		weight.FillRandom(seed + 1)
+		want := Conv2D(in, weight, nil, w)
+		packedIn := tensor.ConvertNCHW(in, "NCHW", tensor.Layout(blockedLayout(block)), w.N, w.CIn, w.H, w.W)
+		packedOut := Conv2DPacked(packedIn, tensor.ConvertOIHW(weight, block), nil, w, block)
+		back := tensor.ConvertNCHW(packedOut, tensor.Layout(blockedLayout(block)), "NCHW", w.N, w.COut, w.OutH(), w.OutW())
+		return tensor.AllClose(back, want, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

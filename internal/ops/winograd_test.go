@@ -1,0 +1,76 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unigpu/internal/tensor"
+)
+
+func TestWinogradMatchesDirect(t *testing.T) {
+	cases := []ConvWorkload{
+		{N: 1, CIn: 4, H: 8, W: 8, COut: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{N: 2, CIn: 3, H: 7, W: 9, COut: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, // odd output sizes
+		{N: 1, CIn: 8, H: 6, W: 6, COut: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1},                   // no padding
+		{N: 1, CIn: 2, H: 10, W: 10, COut: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, HasBias: true, FusedActivation: ActReLU},
+	}
+	for _, w := range cases {
+		in, weight, bias := randomConvInputs(w, 17)
+		want := Conv2D(in, weight, bias, w)
+		got := Conv2DWinograd(in, weight, bias, w)
+		if !tensor.AllClose(got, want, 1e-4) {
+			t.Errorf("%s: Winograd diverges from direct conv (max diff %g)",
+				w.Key(), tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestWinogradRejectsUnsupported(t *testing.T) {
+	bad := []ConvWorkload{
+		{N: 1, CIn: 2, H: 8, W: 8, COut: 2, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+		{N: 1, CIn: 2, H: 8, W: 8, COut: 2, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		{N: 1, CIn: 2, H: 8, W: 8, COut: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2},
+	}
+	for _, w := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Winograd should reject this workload", w.Key())
+				}
+			}()
+			in, weight, _ := randomConvInputs(w, 1)
+			Conv2DWinograd(in, weight, nil, w)
+		}()
+	}
+}
+
+func TestWinogradTransformIdentity(t *testing.T) {
+	// A delta filter (identity kernel) must pass the input through.
+	w := ConvWorkload{N: 1, CIn: 1, H: 6, W: 6, COut: 1, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := tensor.New(1, 1, 6, 6)
+	in.FillRandom(9)
+	weight := tensor.New(1, 1, 3, 3)
+	weight.Set(1, 0, 0, 1, 1) // center tap
+	got := Conv2DWinograd(in, weight, nil, w)
+	if !tensor.AllClose(got, in, 1e-5) {
+		t.Fatalf("identity kernel should reproduce input, diff %g", tensor.MaxAbsDiff(got, in))
+	}
+}
+
+func TestPropertyWinogradEqualsDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		w := ConvWorkload{N: 1, CIn: 3, H: 9, W: 7, COut: 4, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		in, weight, _ := randomConvInputs(w, seed)
+		return tensor.AllClose(Conv2DWinograd(in, weight, nil, w), Conv2D(in, weight, nil, w), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradReductionConstant(t *testing.T) {
+	if WinogradMultiplyReduction != 2.25 {
+		t.Fatalf("F(2x2,3x3) saves 36/16 = 2.25x multiplies, got %v", WinogradMultiplyReduction)
+	}
+}

@@ -1,0 +1,73 @@
+// Package ops implements the CNN operator library: reference (and
+// host-parallel) implementations of every operator the six evaluation
+// models need. The graph runtime executes these for functional results,
+// while per-operator latency on the simulated devices comes from the
+// schedule templates + cost model; the te-lowered kernels are validated
+// against these references on reduced shapes.
+package ops
+
+import "fmt"
+
+// ConvWorkload identifies one convolution workload: the unit of tuning in
+// AutoTVM (§3.2.3, "we maintain a database ... for every convolution
+// workload on each hardware platform").
+type ConvWorkload struct {
+	N, CIn, H, W    int // input batch, channels, height, width
+	COut, KH, KW    int // output channels, kernel size
+	StrideH         int
+	StrideW         int
+	PadH, PadW      int
+	Groups          int // CIn == Groups == COut for depthwise
+	HasBias         bool
+	FusedActivation Activation
+}
+
+// Activation names the elementwise epilogue fused into a conv kernel.
+type Activation int
+
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActLeakyReLU
+)
+
+// OutH returns the output height.
+func (w ConvWorkload) OutH() int { return (w.H+2*w.PadH-w.KH)/w.StrideH + 1 }
+
+// OutW returns the output width.
+func (w ConvWorkload) OutW() int { return (w.W+2*w.PadW-w.KW)/w.StrideW + 1 }
+
+// IsDepthwise reports whether this is a depthwise convolution.
+func (w ConvWorkload) IsDepthwise() bool { return w.Groups > 1 && w.Groups == w.CIn && w.CIn == w.COut }
+
+// Is1x1 reports whether the kernel is pointwise.
+func (w ConvWorkload) Is1x1() bool { return w.KH == 1 && w.KW == 1 }
+
+// FLOPs counts multiply-accumulate work as 2 flops each.
+func (w ConvWorkload) FLOPs() float64 {
+	g := max(1, w.Groups)
+	macs := float64(w.N) * float64(w.COut) * float64(w.OutH()) * float64(w.OutW()) *
+		float64(w.CIn/g) * float64(w.KH) * float64(w.KW)
+	return 2 * macs
+}
+
+// Bytes is the compulsory traffic: input + weights + output, once each.
+func (w ConvWorkload) Bytes() float64 {
+	g := max(1, w.Groups)
+	in := w.N * w.CIn * w.H * w.W
+	wt := w.COut * (w.CIn / g) * w.KH * w.KW
+	out := w.N * w.COut * w.OutH() * w.OutW()
+	return 4 * float64(in+wt+out)
+}
+
+// Key is the canonical database key for the tuning-records store.
+func (w ConvWorkload) Key() string {
+	kind := "conv2d"
+	if w.IsDepthwise() {
+		kind = "depthwise"
+	}
+	return fmt.Sprintf("%s_n%d_c%d_h%d_w%d_o%d_k%dx%d_s%d_p%d_g%d",
+		kind, w.N, w.CIn, w.H, w.W, w.COut, w.KH, w.KW, w.StrideH, w.PadH, max(1, w.Groups))
+}
+
+func (w ConvWorkload) String() string { return w.Key() }

@@ -1,0 +1,116 @@
+// Package runtime executes optimized computational graphs functionally —
+// the heterogeneous graph executor of the stack. Nodes tagged OnCPU and
+// OnGPU both run on the host here (the GPU is simulated; see internal/sim
+// for latency), but the executor honours the placement structurally:
+// device_copy nodes materialise buffer handoffs, and per-node profiles
+// record which device each operator was assigned to.
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"unigpu/internal/graph"
+	"unigpu/internal/tensor"
+)
+
+// NodeProfile records one executed node.
+type NodeProfile struct {
+	Name     string
+	Kind     string
+	Device   graph.DeviceClass
+	Wall     time.Duration
+	OutBytes int
+}
+
+// Result is the outcome of one inference.
+type Result struct {
+	Outputs  []*tensor.Tensor
+	Profile  []NodeProfile
+	PeakLive int // peak bytes of simultaneously live intermediate tensors
+}
+
+// Execute runs the graph on the given feeds (by input-node name). The
+// executor frees intermediate tensors as soon as their last consumer has
+// run (reference-counted memory planning).
+func Execute(g *graph.Graph, feeds map[string]*tensor.Tensor) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Reference counts for memory planning.
+	refs := map[*graph.Node]int{}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			refs[in]++
+		}
+	}
+	for _, o := range g.Outputs {
+		refs[o]++ // outputs stay live
+	}
+
+	values := map[*graph.Node]*tensor.Tensor{}
+	live := 0
+	peak := 0
+	res := &Result{}
+
+	for _, n := range g.Nodes {
+		switch {
+		case n.IsConstant():
+			values[n] = n.Value
+		case n.IsInput():
+			t, ok := feeds[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("runtime: input %q not fed", n.Name)
+			}
+			if !t.Shape().Equal(n.OutShape) {
+				return nil, fmt.Errorf("runtime: input %q shape %v, want %v", n.Name, t.Shape(), n.OutShape)
+			}
+			values[n] = t
+		default:
+			ins := make([]*tensor.Tensor, len(n.Inputs))
+			for i, in := range n.Inputs {
+				v, ok := values[in]
+				if !ok {
+					return nil, fmt.Errorf("runtime: node %q input %q has no value", n.Name, in.Name)
+				}
+				ins[i] = v
+			}
+			start := time.Now()
+			out := n.Op.Execute(ins)
+			if !out.Shape().Equal(n.OutShape) {
+				return nil, fmt.Errorf("runtime: node %q produced %v, inferred %v", n.Name, out.Shape(), n.OutShape)
+			}
+			values[n] = out
+			live += out.Bytes()
+			if live > peak {
+				peak = live
+			}
+			res.Profile = append(res.Profile, NodeProfile{
+				Name: n.Name, Kind: n.Op.Kind(), Device: n.Device,
+				Wall: time.Since(start), OutBytes: out.Bytes(),
+			})
+			// Release inputs whose last consumer has run.
+			for _, in := range n.Inputs {
+				if in.Op == nil {
+					continue // feeds and constants are caller-owned
+				}
+				refs[in]--
+				if refs[in] == 0 {
+					live -= values[in].Bytes()
+					delete(values, in)
+				}
+			}
+		}
+	}
+
+	res.PeakLive = peak
+	res.Outputs = make([]*tensor.Tensor, len(g.Outputs))
+	for i, o := range g.Outputs {
+		v, ok := values[o]
+		if !ok {
+			return nil, fmt.Errorf("runtime: output %q has no value", o.Name)
+		}
+		res.Outputs[i] = v
+	}
+	return res, nil
+}

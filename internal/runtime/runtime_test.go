@@ -1,0 +1,85 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+	"unigpu/internal/runtime"
+	"unigpu/internal/tensor"
+)
+
+func TestExecuteConstantsAndProfile(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 4)
+	c := tensor.FromData([]float32{1, 2, 3, 4}, 1, 4)
+	sum := g.Apply("sum", &graph.AddOp{}, in, g.Constant("c", c))
+	relu := g.Apply("relu", &graph.ActivationOp{Act: ops.ActReLU}, sum)
+	g.SetOutputs(relu)
+
+	feed := tensor.FromData([]float32{-5, 0, 1, 2}, 1, 4)
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 2, 4, 6}
+	for i, v := range want {
+		if res.Outputs[0].Data()[i] != v {
+			t.Fatalf("output = %v, want %v", res.Outputs[0].Data(), want)
+		}
+	}
+	if len(res.Profile) != 2 {
+		t.Fatalf("profile entries = %d, want 2", len(res.Profile))
+	}
+	if res.Profile[0].Kind != "add" || res.Profile[1].Kind != "relu" {
+		t.Fatalf("profile kinds = %v %v", res.Profile[0].Kind, res.Profile[1].Kind)
+	}
+	if res.Profile[0].OutBytes != 16 {
+		t.Fatalf("profile bytes = %d", res.Profile[0].OutBytes)
+	}
+}
+
+func TestExecuteMultipleOutputs(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 2, 2)
+	a := g.Apply("a", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	b := g.Apply("b", &graph.SigmoidOp{}, in)
+	g.SetOutputs(a, b)
+	feed := tensor.New(2, 2)
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+}
+
+func TestExecuteInvalidGraph(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1)
+	orphan := graph.New().Input("other", 1)
+	bad := g.Apply("bad", &graph.AddOp{}, in, orphan)
+	g.SetOutputs(bad)
+	if _, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": tensor.New(1)}); err == nil {
+		t.Fatal("cross-graph reference must fail validation")
+	}
+}
+
+func TestOutputsStayLiveDespitePlanning(t *testing.T) {
+	// An intermediate that is also a graph output must not be freed.
+	g := graph.New()
+	in := g.Input("data", 1, 8)
+	mid := g.Apply("mid", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	end := g.Apply("end", &graph.SigmoidOp{}, mid)
+	g.SetOutputs(mid, end)
+	feed := tensor.New(1, 8)
+	feed.Fill(1)
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] == nil || res.Outputs[0].At(0, 0) != 1 {
+		t.Fatal("mid output should survive memory planning")
+	}
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "math"
+
+// CostFlopsBytes prices a workload characterized only by its arithmetic
+// and traffic volumes, at a given fraction of the device's base efficiency.
+// It is used for operators accounted at the graph level without lowering
+// through te (elementwise tails, CPU-fallback operators, vendor-library
+// profile entries).
+func CostFlopsBytes(d *Device, flops, bytes, relEff float64) float64 {
+	eff := math.Max(1e-4, d.BaseEfficiency*relEff)
+	compute := flops / (d.PeakGFLOPs * 1e9 * eff)
+	mem := bytes / (d.MemBandwidthGBs * 1e9)
+	return math.Max(compute, mem) + d.KernelLaunchUs*1e-6
+}
+
+// CopyCost prices moving bytes between the CPU and the integrated GPU of a
+// platform. Both share DRAM (§3.1.2), so the cost is a cache flush plus a
+// bandwidth term, not a PCIe transfer — this is why fallback is cheap.
+func CopyCost(p *Platform, bytes float64) float64 {
+	bw := math.Min(p.GPU.MemBandwidthGBs, p.CPU.MemBandwidthGBs) * 1e9
+	return p.GPU.CopyLatencyUs*1e-6 + bytes/bw
+}
+
+// GlobalSyncCost is the price of a device-wide synchronization, which on
+// GPUs requires ending and relaunching a kernel. The register-blocked scan
+// exists to avoid paying this log(n) times (§3.1.1).
+func GlobalSyncCost(d *Device) float64 { return d.GlobalSyncUs * 1e-6 }
+
+// LaunchCost is the per-kernel driver overhead.
+func LaunchCost(d *Device) float64 { return d.KernelLaunchUs * 1e-6 }

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"unigpu/internal/ir"
+	"unigpu/internal/te"
+)
+
+// gemmKernel lowers an m×n×k matmul with an optional schedule hook.
+func gemmKernel(m, n, k int, schedule func(s *te.Schedule)) *te.Kernel {
+	A := te.Placeholder("A", m, k)
+	B := te.Placeholder("B", k, n)
+	C := te.Sum("C", []int{m, n}, []int{k}, func(ax, r []ir.Expr) ir.Expr {
+		return ir.Mul(A.Access(ax[0], r[0]), B.Access(r[0], ax[1]))
+	})
+	s := te.NewSchedule(C)
+	if schedule != nil {
+		schedule(s)
+	}
+	return te.Lower("gemm", s)
+}
+
+func naiveGPU(s *te.Schedule) {
+	ax := s.SpatialAxes()
+	s.Bind(ax[0], ir.ForThreadBlock) // one row per block, one thread
+}
+
+func tunedGPU(s *te.Schedule) {
+	ax := s.SpatialAxes()
+	mo, mi := s.Split(ax[0], 8)
+	no, ni := s.Split(ax[1], 64)
+	nio, nii := s.Split(ni, 4)
+	s.Reorder(mo, no, mi, nio, nii)
+	s.Bind(mo, ir.ForThreadBlock)
+	s.Bind(no, ir.ForThreadBlock)
+	s.Bind(mi, ir.ForThread)
+	s.Bind(nio, ir.ForThread)
+	r := s.ReduceAxes()
+	_, ri := s.Split(r[0], 4)
+	s.Unroll(ri)
+	s.Vectorize(nii)
+}
+
+func TestDevicePeakRatiosMatchPaper(t *testing.T) {
+	cases := []struct {
+		p    *Platform
+		want float64
+	}{
+		{DeepLens, 5.16},
+		{AiSage, 6.77},
+		{JetsonNano, 2.48},
+	}
+	for _, c := range cases {
+		if got := c.p.PeakRatio(); math.Abs(got-c.want) > 0.02 {
+			t.Errorf("%s peak ratio = %.2f, want %.2f (paper §1)", c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestMaliHasNoSharedMemory(t *testing.T) {
+	if MaliT860.HasSharedMem {
+		t.Fatal("Mali Midgard must not have shared memory (§4.3)")
+	}
+	if !IntelHD505.HasSubgroups || MaliT860.HasSubgroups {
+		t.Fatal("only Intel Graphics has the subgroup extension")
+	}
+	if MaxwellNano.API != CUDA || IntelHD505.API != OpenCL || MaliT860.API != OpenCL {
+		t.Fatal("driver APIs wrong")
+	}
+}
+
+func TestCostPositiveAndFinite(t *testing.T) {
+	k := gemmKernel(64, 64, 64, tunedGPU)
+	for _, p := range Platforms() {
+		c := CostKernel(p.GPU, k)
+		if !(c.Seconds > 0) || math.IsInf(c.Seconds, 0) || math.IsNaN(c.Seconds) {
+			t.Errorf("%s: bad cost %v", p.Name, c.Seconds)
+		}
+		if c.FLOPs < 2*64*64*64*0.9 {
+			t.Errorf("%s: flops %v too low", p.Name, c.FLOPs)
+		}
+	}
+}
+
+func TestTunedBeatsNaive(t *testing.T) {
+	// The fundamental property the whole search relies on: a tiled,
+	// thread-rich, vectorized schedule must be priced well below a
+	// one-thread-per-block naive schedule, on every GPU.
+	naive := gemmKernel(256, 256, 256, naiveGPU)
+	tuned := gemmKernel(256, 256, 256, tunedGPU)
+	for _, p := range Platforms() {
+		cn := CostKernel(p.GPU, naive)
+		ct := CostKernel(p.GPU, tuned)
+		if ct.Seconds >= cn.Seconds {
+			t.Errorf("%s: tuned %.6fs not faster than naive %.6fs", p.Name, ct.Seconds, cn.Seconds)
+		}
+		if cn.Seconds/ct.Seconds < 2 {
+			t.Errorf("%s: tuned/naive speedup only %.2fx", p.Name, cn.Seconds/ct.Seconds)
+		}
+	}
+}
+
+func TestOccupancyIncreasesWithThreads(t *testing.T) {
+	few := gemmKernel(128, 128, 32, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		s.Bind(ax[0], ir.ForThreadBlock)
+	})
+	many := gemmKernel(128, 128, 32, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		s.Bind(ax[0], ir.ForThreadBlock)
+		s.Bind(ax[1], ir.ForThread)
+	})
+	cf := CostKernel(MaxwellNano, few)
+	cm := CostKernel(MaxwellNano, many)
+	if cm.Occupancy <= cf.Occupancy {
+		t.Fatalf("more threads should raise occupancy: %v vs %v", cm.Occupancy, cf.Occupancy)
+	}
+}
+
+func TestWarpUtilPenalizesPartialWarps(t *testing.T) {
+	mk := func(threads int) *te.Kernel {
+		return gemmKernel(64, 64, 8, func(s *te.Schedule) {
+			ax := s.SpatialAxes()
+			s.Bind(ax[0], ir.ForThreadBlock)
+			_, ni := s.Split(ax[1], threads)
+			s.Bind(ni, ir.ForThread)
+		})
+	}
+	full := CostKernel(MaxwellNano, mk(32))
+	partial := CostKernel(MaxwellNano, mk(16)) // half a warp idle
+	if partial.WarpUtil >= full.WarpUtil {
+		t.Fatalf("partial warp util %v should be below full %v", partial.WarpUtil, full.WarpUtil)
+	}
+	if math.Abs(partial.WarpUtil-0.5) > 1e-9 {
+		t.Fatalf("16/32 threads should give 0.5 warp util, got %v", partial.WarpUtil)
+	}
+}
+
+func TestDivergenceMeasuredAndWorseOnMali(t *testing.T) {
+	// A non-dividing split introduces a boundary guard -> divergent work.
+	guarded := gemmKernel(100, 64, 16, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		mo, mi := s.Split(ax[0], 32) // 100 % 32 != 0 -> guard
+		s.Bind(mo, ir.ForThreadBlock)
+		s.Bind(mi, ir.ForThread)
+	})
+	clean := gemmKernel(96, 64, 16, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		mo, mi := s.Split(ax[0], 32)
+		s.Bind(mo, ir.ForThreadBlock)
+		s.Bind(mi, ir.ForThread)
+	})
+	cg := CostKernel(MaliT860, guarded)
+	cc := CostKernel(MaliT860, clean)
+	if cg.Divergence <= 0 || cc.Divergence != 0 {
+		t.Fatalf("divergence: guarded=%v clean=%v", cg.Divergence, cc.Divergence)
+	}
+	// Same guarded kernel should lose relatively more efficiency on Mali
+	// (no shared memory) than on Nvidia.
+	effLossMali := CostKernel(MaliT860, guarded).Efficiency / CostKernel(MaliT860, clean).Efficiency
+	effLossNano := CostKernel(MaxwellNano, guarded).Efficiency / CostKernel(MaxwellNano, clean).Efficiency
+	if effLossMali >= effLossNano {
+		t.Fatalf("divergence penalty on Mali (%.3f) should exceed Nvidia (%.3f)", effLossMali, effLossNano)
+	}
+}
+
+func TestSubgroupBoostOnlyOnIntel(t *testing.T) {
+	sub := gemmKernel(64, 64, 16, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		s.Bind(ax[0], ir.ForThreadBlock)
+		_, ni := s.Split(ax[1], 8)
+		s.Bind(ni, ir.ForSubgroup)
+	})
+	plain := gemmKernel(64, 64, 16, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		s.Bind(ax[0], ir.ForThreadBlock)
+		_, ni := s.Split(ax[1], 8)
+		s.Bind(ni, ir.ForThread)
+	})
+	if CostKernel(IntelHD505, sub).Efficiency <= CostKernel(IntelHD505, plain).Efficiency {
+		t.Fatal("subgroup binding should boost efficiency on Intel")
+	}
+	if CostKernel(MaliT860, sub).Efficiency > CostKernel(MaliT860, plain).Efficiency {
+		t.Fatal("subgroup binding must not boost Mali (no subgroups)")
+	}
+}
+
+func TestTilingReducesTraffic(t *testing.T) {
+	// Blocking the reduction keeps the working set in cache; an untiled
+	// kernel streams B from DRAM every row. The matrices are large enough
+	// that cross-block L2 reuse cannot hide the difference.
+	untiled := gemmKernel(2048, 2048, 2048, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		s.Bind(ax[0], ir.ForThreadBlock)
+		_, ni := s.Split(ax[1], 64)
+		s.Bind(ni, ir.ForThread)
+	})
+	tiled := gemmKernel(2048, 2048, 2048, func(s *te.Schedule) {
+		ax := s.SpatialAxes()
+		mo, mi := s.Split(ax[0], 64)
+		s.Bind(mo, ir.ForThreadBlock)
+		no, ni := s.Split(ax[1], 64)
+		s.Bind(no, ir.ForThreadBlock)
+		s.Bind(ni, ir.ForThread)
+		_ = mi
+		_ = no
+	})
+	cu := CostKernel(MaxwellNano, untiled)
+	ct := CostKernel(MaxwellNano, tiled)
+	if ct.TrafficBytes >= cu.TrafficBytes {
+		t.Fatalf("tiled traffic %.0f should be below untiled %.0f", ct.TrafficBytes, cu.TrafficBytes)
+	}
+}
+
+func TestCoalescingWaste(t *testing.T) {
+	a := &access{stride: 1}
+	if a.coalesceWaste(MaxwellNano) != 1 {
+		t.Fatal("unit stride is coalesced")
+	}
+	a.stride = 64
+	if a.coalesceWaste(MaxwellNano) != 16 {
+		t.Fatal("large stride should cap at the cache line (16 floats)")
+	}
+	a.stride = -4
+	if a.coalesceWaste(MaxwellNano) != 4 {
+		t.Fatal("negative strides count by magnitude")
+	}
+	if a.coalesceWaste(AtomE3930) != 1 {
+		t.Fatal("CPU accesses are not warp-coalesced")
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	x, y := ir.NewVar("x"), ir.NewVar("y")
+	bounds := map[string][2]float64{"x": {0, 3}, "y": {0, 4}}
+	lo, hi := interval(ir.Add(ir.Mul(x, ir.Imm(5)), y), bounds)
+	if lo != 0 || hi != 19 {
+		t.Fatalf("interval(5x+y) = [%v,%v], want [0,19]", lo, hi)
+	}
+	lo, hi = interval(ir.Sub(x, y), bounds)
+	if lo != -4 || hi != 3 {
+		t.Fatalf("interval(x-y) = [%v,%v], want [-4,3]", lo, hi)
+	}
+	lo, hi = interval(ir.Mod(x, ir.Imm(2)), bounds)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("interval(x%%2) = [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestOpaqueCosts(t *testing.T) {
+	c := CostFlopsBytes(MaxwellNano, 1e9, 1e6, 1.0)
+	if !(c > 0 && c < 1) {
+		t.Fatalf("opaque cost = %v", c)
+	}
+	// Memory-bound workload should be priced by bandwidth.
+	cm := CostFlopsBytes(MaxwellNano, 1e3, 256e6, 1.0)
+	if cm < 256e6/(MaxwellNano.MemBandwidthGBs*1e9) {
+		t.Fatal("memory-bound cost below bandwidth bound")
+	}
+	if CopyCost(DeepLens, 4e6) <= 0 {
+		t.Fatal("copy cost must be positive")
+	}
+	if GlobalSyncCost(MaliT860) <= GlobalSyncCost(MaxwellNano) == (MaliT860.GlobalSyncUs <= MaxwellNano.GlobalSyncUs) == false {
+		t.Fatal("sync cost ordering should follow device parameters")
+	}
+}
+
+func TestCostDeterminism(t *testing.T) {
+	k := gemmKernel(128, 128, 128, tunedGPU)
+	a := CostKernel(IntelHD505, k)
+	b := CostKernel(IntelHD505, k)
+	if a != b {
+		t.Fatal("cost model must be deterministic")
+	}
+}

@@ -1,0 +1,266 @@
+// Package templates builds the optimized conv2d schedule templates of
+// §3.2.2 — the "main template" of Figure 1 that AutoTVM searches. One
+// algorithm definition (direct convolution over NCHW) is scheduled per
+// configuration: output channels split across blocks and threads (or Intel
+// subgroup lanes), the feature map split along height, the width tile
+// vectorized, and the kernel loops unrolled — exactly the heuristics the
+// paper lists. Every configuration lowers to loop IR that is functionally
+// validated against internal/ops and priced by internal/sim.
+package templates
+
+import (
+	"fmt"
+	"sort"
+
+	"unigpu/internal/ir"
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+	"unigpu/internal/te"
+)
+
+// Config is one point in the conv template's search space.
+type Config struct {
+	TileCo int // output channels per block (thread/subgroup lanes)
+	TileH  int // output rows per block
+	TileW  int // output columns per block
+	VecW   int // SIMD lanes on the innermost width axis (divides TileW)
+	TileK  int // reduction split; the inner part is unrolled
+	// UnrollKernel unrolls the kh/kw taps (§3.2.2 loop unrolling).
+	UnrollKernel bool
+	// UseSubgroup binds the channel lanes to an Intel subgroup so weights
+	// stay in the shared GRFs (§3.2.1); ignored on other vendors.
+	UseSubgroup bool
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("co%d_h%d_w%d_v%d_k%d_u%v_sg%v",
+		c.TileCo, c.TileH, c.TileW, c.VecW, c.TileK, c.UnrollKernel, c.UseSubgroup)
+}
+
+// DefaultConfig is the schedule used before tuning (the "Before" column of
+// Table 5): a plain one-work-item-per-output mapping with no tiling,
+// vectorization or unrolling — what a direct, correct GPU port does.
+func DefaultConfig() Config {
+	return Config{TileCo: 1, TileH: 1, TileW: 1, VecW: 1, TileK: 1}
+}
+
+// DeviceDefaultConfig is the schedule each backend ships before any tuning
+// (Table 5's "Before"): a fixed thread mapping that is reasonable on Intel
+// (whose OpenCL driver packs work items into SIMD-8 threads), mediocre on
+// Mali, and poor on CUDA where 4 threads fill an eighth of a warp — the
+// reason the Jetson Nano shows the largest tuning gains in Table 5.
+func DeviceDefaultConfig(w ops.ConvWorkload, d *sim.Device) Config {
+	var c Config
+	switch d.Vendor {
+	case sim.Intel:
+		c = Config{TileCo: 8, TileH: 1, TileW: 8, VecW: 1, TileK: 1}
+	case sim.ARM:
+		c = Config{TileCo: 2, TileH: 1, TileW: 4, VecW: 1, TileK: 1}
+	default:
+		c = Config{TileCo: 1, TileH: 1, TileW: 4, VecW: 1, TileK: 1}
+	}
+	c.TileCo = min(c.TileCo, w.COut)
+	c.TileH = min(c.TileH, w.OutH())
+	c.TileW = min(c.TileW, w.OutW())
+	return c
+}
+
+// ConfigSpace enumerates the candidate configurations for a workload on a
+// device, pruned to shapes the hardware can schedule (§3.2.3: "the shape
+// of the work groups significantly matters").
+func ConfigSpace(w ops.ConvWorkload, d *sim.Device) []Config {
+	// Tile sizes include exact divisors of the extents so feature maps
+	// like 14x14 and odd head channel counts (84, 126) can be covered
+	// without boundary guards — weight reuse per block is what keeps the
+	// deep layers off the memory roof.
+	tileCos := withDivisors([]int{1, 2, 4, 8, 16, 32}, w.COut, 32)
+	tileHs := withDivisors([]int{1, 2, 4, 8}, w.OutH(), 16)
+	tileWs := withDivisors([]int{1, 2, 4, 8, 16}, w.OutW(), 32)
+	vecs := []int{1, 2, 4, 8}
+	tileKs := []int{1, 2, 4}
+
+	oh, ow := w.OutH(), w.OutW()
+	var out []Config
+	for _, co := range tileCos {
+		if co > w.COut {
+			continue
+		}
+		for _, th := range tileHs {
+			if th > oh {
+				continue
+			}
+			for _, tw := range tileWs {
+				if tw > ow {
+					continue
+				}
+				for _, v := range vecs {
+					if v > tw || v > d.SIMDWidth || tw%v != 0 {
+						continue
+					}
+					threads := co * th * (tw / v)
+					if threads > 1024 { // CUDA/OpenCL per-block limit
+						continue
+					}
+					for _, tk := range tileKs {
+						if !w.IsDepthwise() && tk > w.CIn {
+							continue
+						}
+						for _, unroll := range []bool{false, true} {
+							cfgs := []Config{{TileCo: co, TileH: th, TileW: tw, VecW: v, TileK: tk, UnrollKernel: unroll}}
+							if d.HasSubgroups && co >= 4 {
+								sg := cfgs[0]
+								sg.UseSubgroup = true
+								cfgs = append(cfgs, sg)
+							}
+							out = append(out, cfgs...)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// withDivisors extends base with the divisors of n up to limit, sorted and
+// de-duplicated.
+func withDivisors(base []int, n, limit int) []int {
+	seen := map[int]bool{}
+	for _, v := range base {
+		seen[v] = true
+	}
+	out := append([]int(nil), base...)
+	for d := 1; d <= n && d <= limit; d++ {
+		if n%d == 0 && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Declare builds the unscheduled tensor-expression form of the workload.
+// Padding is handled with predicated (Select) loads, never divergent
+// branches.
+func Declare(w ops.ConvWorkload) *te.Tensor {
+	if w.IsDepthwise() {
+		return declareDepthwise(w)
+	}
+	return declareDirect(w)
+}
+
+func declareDirect(w ops.ConvWorkload) *te.Tensor {
+	A := te.Placeholder("data", w.N, w.CIn, w.H, w.W)
+	W := te.Placeholder("weight", w.COut, w.CIn, w.KH, w.KW)
+	oh, ow := w.OutH(), w.OutW()
+	return te.Sum("out", []int{w.N, w.COut, oh, ow}, []int{w.CIn, w.KH, w.KW},
+		func(ax, r []ir.Expr) ir.Expr {
+			iy := ir.Add(ir.Mul(ax[2], ir.Imm(w.StrideH)), ir.Sub(r[1], ir.Imm(w.PadH)))
+			ix := ir.Add(ir.Mul(ax[3], ir.Imm(w.StrideW)), ir.Sub(r[2], ir.Imm(w.PadW)))
+			inBounds := ir.And(
+				ir.And(ir.GE(iy, ir.Imm(0)), ir.LT(iy, ir.Imm(w.H))),
+				ir.And(ir.GE(ix, ir.Imm(0)), ir.LT(ix, ir.Imm(w.W))))
+			val := te.If(inBounds, A.Access(ax[0], r[0], iy, ix), ir.FImm(0))
+			return ir.Mul(val, W.Access(ax[1], r[0], r[1], r[2]))
+		})
+}
+
+func declareDepthwise(w ops.ConvWorkload) *te.Tensor {
+	A := te.Placeholder("data", w.N, w.CIn, w.H, w.W)
+	W := te.Placeholder("weight", w.COut, 1, w.KH, w.KW)
+	oh, ow := w.OutH(), w.OutW()
+	return te.Sum("out", []int{w.N, w.COut, oh, ow}, []int{w.KH, w.KW},
+		func(ax, r []ir.Expr) ir.Expr {
+			iy := ir.Add(ir.Mul(ax[2], ir.Imm(w.StrideH)), ir.Sub(r[0], ir.Imm(w.PadH)))
+			ix := ir.Add(ir.Mul(ax[3], ir.Imm(w.StrideW)), ir.Sub(r[1], ir.Imm(w.PadW)))
+			inBounds := ir.And(
+				ir.And(ir.GE(iy, ir.Imm(0)), ir.LT(iy, ir.Imm(w.H))),
+				ir.And(ir.GE(ix, ir.Imm(0)), ir.LT(ix, ir.Imm(w.W))))
+			val := te.If(inBounds, A.Access(ax[0], ax[1], iy, ix), ir.FImm(0))
+			return ir.Mul(val, W.Access(ax[1], ir.Imm(0), r[0], r[1]))
+		})
+}
+
+// Schedule applies the configuration to the workload and lowers it.
+func Schedule(w ops.ConvWorkload, cfg Config, d *sim.Device) *te.Kernel {
+	out := Declare(w)
+	s := te.NewSchedule(out)
+	ax := s.SpatialAxes() // n, co, oh, ow
+
+	coO, coI := s.Split(ax[1], cfg.TileCo)
+	ohO, ohI := s.Split(ax[2], cfg.TileH)
+	owO, owI := s.Split(ax[3], cfg.TileW)
+
+	lanes := []te.Axis{coI, ohI}
+	var vec te.Axis
+	hasVec := false
+	if cfg.VecW > 1 {
+		owIO, owII := s.Split(owI, cfg.VecW)
+		lanes = append(lanes, owIO)
+		vec = owII
+		hasVec = true
+		s.Reorder(ax[0], coO, ohO, owO, coI, ohI, owIO, owII)
+	} else {
+		lanes = append(lanes, owI)
+		s.Reorder(ax[0], coO, ohO, owO, coI, ohI, owI)
+	}
+
+	s.Bind(coO, ir.ForThreadBlock)
+	s.Bind(ohO, ir.ForThreadBlock)
+	s.Bind(owO, ir.ForThreadBlock)
+	if cfg.UseSubgroup && d.HasSubgroups {
+		s.Bind(lanes[0], ir.ForSubgroup)
+	} else {
+		s.Bind(lanes[0], ir.ForThread)
+	}
+	for _, l := range lanes[1:] {
+		s.Bind(l, ir.ForThread)
+	}
+	if hasVec {
+		s.Vectorize(vec)
+	}
+
+	r := s.ReduceAxes()
+	if !w.IsDepthwise() && cfg.TileK > 1 {
+		_, ci := s.Split(r[0], cfg.TileK)
+		s.Unroll(ci)
+	}
+	if cfg.UnrollKernel {
+		// kh/kw are the last two reduce axes in both variants.
+		rr := s.ReduceAxes()
+		s.Unroll(rr[len(rr)-2])
+		s.Unroll(rr[len(rr)-1])
+	}
+	return te.Lower("conv_"+w.Key(), s)
+}
+
+// DepthwisePenalty reflects that depthwise convolutions have no input-
+// channel reduction to amortise data movement over: per multiply-accumulate
+// they move an order of magnitude more data and expose far less ILP than
+// dense convolutions, which the loop-level model under-prices.
+const DepthwisePenalty = 3.0
+
+// DepthwiseIntelPenalty is the additional factor of §4.2: "our depth-wise
+// convolution has not been fully optimized for Intel Graphics" — the
+// subgroup/GRF blocking the Intel template relies on does not apply to the
+// single-input-channel reduction. (Optimizing this is the paper's stated
+// future work.)
+const DepthwiseIntelPenalty = 4.7
+
+// CostMs prices a configuration on a device in milliseconds.
+func CostMs(w ops.ConvWorkload, cfg Config, d *sim.Device) float64 {
+	k := Schedule(w, cfg, d)
+	c := sim.CostKernel(d, k)
+	ms := c.Seconds * 1e3
+	if w.IsDepthwise() {
+		// The penalty applies to execution, not to driver dispatch.
+		launch := c.LaunchSeconds * 1e3
+		exec := (ms - launch) * DepthwisePenalty
+		if d.HasSubgroups {
+			exec *= DepthwiseIntelPenalty
+		}
+		ms = exec + launch
+	}
+	return ms
+}

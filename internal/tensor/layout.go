@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Layout describes how a logical 4-D activation or weight tensor is stored.
+// Upper-case letters are primary axes; a lower-case letter is a blocked
+// sub-axis of the preceding matching upper-case axis, with its block size.
+// Examples: "NCHW", "NHWC", "NCHW8c" (channel blocked by 8), "OIHW",
+// "OIHW16o" (output-channel blocked by 16).
+type Layout string
+
+// Axes decomposes the layout into axis names; blocked sub-axes keep the
+// block size, e.g. "NCHW8c" -> [{N 0} {C 0} {H 0} {W 0} {c 8}].
+type LayoutAxis struct {
+	Name  byte
+	Block int // 0 for primary axes
+}
+
+// Parse splits the layout string into axes. It panics on malformed layouts;
+// layouts are compile-time constants in practice.
+func (l Layout) Parse() []LayoutAxis {
+	var axes []LayoutAxis
+	s := string(l)
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			axes = append(axes, LayoutAxis{Name: c})
+			i++
+			continue
+		}
+		// A digit sequence followed by a lower-case axis letter.
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == i || j >= len(s) || s[j] < 'a' || s[j] > 'z' {
+			panic(fmt.Sprintf("tensor: malformed layout %q", l))
+		}
+		blk, _ := strconv.Atoi(s[i:j])
+		axes = append(axes, LayoutAxis{Name: s[j], Block: blk})
+		i = j + 1
+	}
+	return axes
+}
+
+// BlockOf returns the block size for the given primary axis (e.g. 'C'), or
+// 0 when the axis is not blocked in this layout.
+func (l Layout) BlockOf(primary byte) int {
+	for _, a := range l.Parse() {
+		if a.Block > 0 && a.Name == primary+('a'-'A') {
+			return a.Block
+		}
+	}
+	return 0
+}
+
+func (l Layout) String() string { return string(l) }
+
+// IsBlockedChannel reports whether the layout blocks the channel axis
+// (NCHW[x]c family).
+func (l Layout) IsBlockedChannel() bool { return l.BlockOf('C') > 0 }
+
+// NCHWShape returns the storage shape for a logical (n, c, h, w) activation
+// under this layout. Supported: NCHW, NHWC, NCHW[x]c.
+func (l Layout) NCHWShape(n, c, h, w int) Shape {
+	switch {
+	case l == "NCHW":
+		return Shape{n, c, h, w}
+	case l == "NHWC":
+		return Shape{n, h, w, c}
+	case strings.HasPrefix(string(l), "NCHW") && l.IsBlockedChannel():
+		blk := l.BlockOf('C')
+		return Shape{n, ceilDiv(c, blk), h, w, blk}
+	}
+	panic(fmt.Sprintf("tensor: unsupported activation layout %q", l))
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ConvertNCHW converts an activation tensor between the supported layouts.
+// src must be stored under from; the result is stored under to. The logical
+// shape (n, c, h, w) must be supplied because blocked layouts may pad C.
+func ConvertNCHW(src *Tensor, from, to Layout, n, c, h, w int) *Tensor {
+	if from == to {
+		return src.Clone()
+	}
+	get := activationGetter(src, from)
+	dst := New(to.NCHWShape(n, c, h, w)...)
+	set := activationSetter(dst, to)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					set(ni, ci, hi, wi, get(ni, ci, hi, wi))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func activationGetter(t *Tensor, l Layout) func(n, c, h, w int) float32 {
+	switch {
+	case l == "NCHW":
+		return func(n, c, h, w int) float32 { return t.At(n, c, h, w) }
+	case l == "NHWC":
+		return func(n, c, h, w int) float32 { return t.At(n, h, w, c) }
+	case l.IsBlockedChannel():
+		blk := l.BlockOf('C')
+		return func(n, c, h, w int) float32 { return t.At(n, c/blk, h, w, c%blk) }
+	}
+	panic(fmt.Sprintf("tensor: unsupported activation layout %q", l))
+}
+
+func activationSetter(t *Tensor, l Layout) func(n, c, h, w int, v float32) {
+	switch {
+	case l == "NCHW":
+		return func(n, c, h, w int, v float32) { t.Set(v, n, c, h, w) }
+	case l == "NHWC":
+		return func(n, c, h, w int, v float32) { t.Set(v, n, h, w, c) }
+	case l.IsBlockedChannel():
+		blk := l.BlockOf('C')
+		return func(n, c, h, w int, v float32) { t.Set(v, n, c/blk, h, w, c%blk) }
+	}
+	panic(fmt.Sprintf("tensor: unsupported activation layout %q", l))
+}
+
+// ConvertOIHW converts a weight tensor from OIHW to OIHW[x]o blocked layout
+// (output channels padded to a multiple of the block).
+func ConvertOIHW(src *Tensor, block int) *Tensor {
+	s := src.Shape()
+	o, i, kh, kw := s[0], s[1], s[2], s[3]
+	dst := New(ceilDiv(o, block), i, kh, kw, block)
+	for oo := 0; oo < o; oo++ {
+		for ii := 0; ii < i; ii++ {
+			for y := 0; y < kh; y++ {
+				for x := 0; x < kw; x++ {
+					dst.Set(src.At(oo, ii, y, x), oo/block, ii, y, x, oo%block)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// TransformCost estimates the number of elements that must be moved to
+// convert an activation of logical shape (n,c,h,w) between two layouts.
+// It is zero when the layouts match. Used by the graph tuner to price
+// layout-transform nodes.
+func TransformCost(from, to Layout, n, c, h, w int) int {
+	if from == to {
+		return 0
+	}
+	// One read + one write per logical element; blocked targets also touch
+	// their padding.
+	elems := n * c * h * w
+	padded := to.NCHWShape(n, c, h, w).NumElements()
+	return elems + padded
+}

@@ -1,0 +1,260 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int
+	}{
+		{Shape{}, 1},
+		{Shape{3}, 3},
+		{Shape{2, 3, 4}, 24},
+		{Shape{1, 1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := c.s.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	a := Shape{2, 3}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should equal original")
+	}
+	b[0] = 9
+	if a.Equal(b) {
+		t.Fatal("mutated clone should differ")
+	}
+	if a.Equal(Shape{2, 3, 1}) {
+		t.Fatal("different ranks must not be equal")
+	}
+}
+
+func TestStridesRowMajor(t *testing.T) {
+	st := Shape{2, 3, 4}.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("strides = %v, want %v", st, want)
+		}
+	}
+}
+
+func TestAtSetOffset(t *testing.T) {
+	tt := New(2, 3, 4)
+	tt.Set(7.5, 1, 2, 3)
+	if got := tt.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if off := tt.Offset(1, 2, 3); off != 23 {
+		t.Fatalf("Offset = %d, want 23", off)
+	}
+	if tt.Data()[23] != 7.5 {
+		t.Fatal("backing buffer not updated")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestWrongRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong index rank")
+		}
+	}()
+	New(2, 2).At(1)
+}
+
+func TestFromDataLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromData(make([]float32, 5), 2, 3)
+}
+
+func TestReshapeSharesBuffer(t *testing.T) {
+	a := New(2, 6)
+	b := a.Reshape(3, 4)
+	b.Set(1.5, 2, 3)
+	if a.At(1, 5) != 1.5 {
+		t.Fatal("reshape must share the backing buffer")
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(5)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4)
+	a.Fill(2)
+	b := a.Clone()
+	b.Set(9, 0)
+	if a.At(0) != 2 {
+		t.Fatal("clone must not alias original")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a, b := New(100), New(100)
+	a.FillRandom(42)
+	b.FillRandom(42)
+	if !AllClose(a, b, 0) {
+		t.Fatal("same seed must give identical contents")
+	}
+	c := New(100)
+	c.FillRandom(43)
+	if AllClose(a, c, 0) {
+		t.Fatal("different seeds should differ")
+	}
+	for _, v := range a.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, b := New(3), New(3)
+	a.Data()[1] = 1
+	b.Data()[1] = 1.1
+	d := MaxAbsDiff(a, b)
+	if math.Abs(d-0.1/1.1) > 1e-6 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if !math.IsInf(MaxAbsDiff(New(2), New(3)), 1) {
+		t.Fatal("shape mismatch must be +Inf")
+	}
+}
+
+func TestLayoutParse(t *testing.T) {
+	axes := Layout("NCHW8c").Parse()
+	if len(axes) != 5 || axes[4].Name != 'c' || axes[4].Block != 8 {
+		t.Fatalf("parse NCHW8c = %+v", axes)
+	}
+	if Layout("NCHW16c").BlockOf('C') != 16 {
+		t.Fatal("BlockOf C should be 16")
+	}
+	if Layout("NCHW").BlockOf('C') != 0 {
+		t.Fatal("unblocked layout should report 0")
+	}
+	if Layout("OIHW4o").BlockOf('O') != 4 {
+		t.Fatal("BlockOf O should be 4")
+	}
+}
+
+func TestLayoutMalformedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Layout("NC4").Parse()
+}
+
+func TestNCHWShape(t *testing.T) {
+	if got := Layout("NCHW").NCHWShape(1, 3, 8, 8); !got.Equal(Shape{1, 3, 8, 8}) {
+		t.Fatalf("NCHW shape = %v", got)
+	}
+	if got := Layout("NHWC").NCHWShape(1, 3, 8, 8); !got.Equal(Shape{1, 8, 8, 3}) {
+		t.Fatalf("NHWC shape = %v", got)
+	}
+	// 5 channels blocked by 4 pads to 2 blocks.
+	if got := Layout("NCHW4c").NCHWShape(1, 5, 8, 8); !got.Equal(Shape{1, 2, 8, 8, 4}) {
+		t.Fatalf("NCHW4c shape = %v", got)
+	}
+}
+
+func TestConvertNCHWRoundTrip(t *testing.T) {
+	layouts := []Layout{"NCHW", "NHWC", "NCHW4c", "NCHW8c"}
+	n, c, h, w := 2, 6, 5, 7
+	src := New(n, c, h, w)
+	src.FillRandom(1)
+	for _, from := range layouts {
+		a := ConvertNCHW(src, "NCHW", from, n, c, h, w)
+		for _, to := range layouts {
+			b := ConvertNCHW(a, from, to, n, c, h, w)
+			back := ConvertNCHW(b, to, "NCHW", n, c, h, w)
+			if !AllClose(src, back, 0) {
+				t.Fatalf("round trip NCHW->%s->%s->NCHW lost data", from, to)
+			}
+		}
+	}
+}
+
+func TestConvertSameLayoutClones(t *testing.T) {
+	src := New(1, 2, 3, 3)
+	src.FillRandom(2)
+	dst := ConvertNCHW(src, "NCHW", "NCHW", 1, 2, 3, 3)
+	dst.Set(99, 0, 0, 0, 0)
+	if src.At(0, 0, 0, 0) == 99 {
+		t.Fatal("same-layout convert must clone, not alias")
+	}
+}
+
+func TestConvertOIHW(t *testing.T) {
+	w := New(5, 3, 3, 3)
+	w.FillRandom(3)
+	b := ConvertOIHW(w, 4)
+	if !b.Shape().Equal(Shape{2, 3, 3, 3, 4}) {
+		t.Fatalf("blocked shape = %v", b.Shape())
+	}
+	for o := 0; o < 5; o++ {
+		if b.At(o/4, 1, 2, 0, o%4) != w.At(o, 1, 2, 0) {
+			t.Fatalf("element mismatch at o=%d", o)
+		}
+	}
+	// Padding lanes are zero.
+	for i := 0; i < 3; i++ {
+		if b.At(1, i, 0, 0, 3) != 0 {
+			t.Fatal("padding lanes should be zero")
+		}
+	}
+}
+
+func TestTransformCost(t *testing.T) {
+	if TransformCost("NCHW", "NCHW", 1, 3, 8, 8) != 0 {
+		t.Fatal("same layout should be free")
+	}
+	c := TransformCost("NCHW", "NCHW4c", 1, 5, 8, 8)
+	// 5*64 reads + padded 2*4*64 writes.
+	if c != 5*64+8*64 {
+		t.Fatalf("TransformCost = %d", c)
+	}
+}
+
+func TestPropertyConvertPreservesValues(t *testing.T) {
+	f := func(seed int64) bool {
+		n, c, h, w := 1, 3+int(uint(seed)%5), 4, 4
+		src := New(n, c, h, w)
+		src.FillRandom(seed)
+		blocked := ConvertNCHW(src, "NCHW", "NCHW4c", n, c, h, w)
+		back := ConvertNCHW(blocked, "NCHW4c", "NCHW", n, c, h, w)
+		return AllClose(src, back, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

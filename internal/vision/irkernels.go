@@ -1,0 +1,113 @@
+package vision
+
+import (
+	"unigpu/internal/ir"
+	"unigpu/internal/te"
+)
+
+// This file expresses the vision-specific operators in the unified tensor
+// IR — the §3.1.1 engineering-effort claim: "our approach only requires
+// around 100 lines of TVM IR code (vs 325 lines of CUDA code in the
+// original implementation) to generate efficient code for both CUDA and
+// OpenCL supported platforms". The kernels below lower through the same
+// te/ir pipeline as the convolutions, emit in both dialects via
+// internal/codegen, and are functionally validated by the interpreter.
+
+// NMSSuppressKernel builds the divergence-free suppression sweep of box
+// NMS in the IR: given the currently accepted box (by index k in a
+// one-element buffer) the kernel predicates every later candidate's
+// validity on its IoU against the accepted box — Select, not branches, so
+// warps never diverge (§4.3).
+//
+// Buffers: boxes (n x 4 corner format), valid (n), keptBox (4).
+func NMSSuppressKernel(n int, iouThreshold float32) *te.Kernel {
+	boxes := te.Placeholder("boxes", n, 4)
+	kept := te.Placeholder("keptBox", 4)
+	valid := te.Placeholder("valid", n)
+
+	out := te.Compute("validOut", []int{n}, func(ax []ir.Expr) ir.Expr {
+		i := ax[0]
+		bx1 := boxes.Access(i, ir.Imm(0))
+		by1 := boxes.Access(i, ir.Imm(1))
+		bx2 := boxes.Access(i, ir.Imm(2))
+		by2 := boxes.Access(i, ir.Imm(3))
+		kx1 := kept.Access(ir.Imm(0))
+		ky1 := kept.Access(ir.Imm(1))
+		kx2 := kept.Access(ir.Imm(2))
+		ky2 := kept.Access(ir.Imm(3))
+
+		iw := ir.Max(ir.Sub(ir.Min(bx2, kx2), ir.Max(bx1, kx1)), ir.FImm(0))
+		ih := ir.Max(ir.Sub(ir.Min(by2, ky2), ir.Max(by1, ky1)), ir.FImm(0))
+		inter := ir.Mul(iw, ih)
+		areaB := ir.Mul(ir.Sub(bx2, bx1), ir.Sub(by2, by1))
+		areaK := ir.Mul(ir.Sub(kx2, kx1), ir.Sub(ky2, ky1))
+		union := ir.Max(ir.Sub(ir.Add(areaB, areaK), inter), ir.FImm(1e-9))
+		overlap := ir.GE(inter, ir.Mul(ir.FImm(iouThreshold), union))
+
+		// Predicated update: survivors keep their validity; overlapping
+		// candidates are zeroed. No divergent branch.
+		return te.If(overlap, ir.FImm(0), valid.Access(i))
+	})
+
+	s := te.NewSchedule(out)
+	ax := s.SpatialAxes()
+	blk, thr := s.Split(ax[0], 64)
+	s.Bind(blk, ir.ForThreadBlock)
+	s.Bind(thr, ir.ForThread)
+	return te.Lower("nms_suppress", s)
+}
+
+// ScanUpSweepKernel builds the register-blocked up-sweep of Figure 3 in
+// the IR: each processor sequentially scans its chunk and records the
+// chunk reduction — the stage that avoids per-pass global synchronization.
+// Buffers: data (n), partial (n), sums (numProcs).
+func ScanUpSweepKernel(n, numProcs int) *te.Kernel {
+	chunk := (n + numProcs - 1) / numProcs
+	data := te.Placeholder("data", n)
+
+	sums := te.Sum("sums", []int{numProcs}, []int{chunk}, func(ax, r []ir.Expr) ir.Expr {
+		idx := ir.Add(ir.Mul(ax[0], ir.Imm(chunk)), r[0])
+		return te.If(ir.LT(idx, ir.Imm(n)), data.Access(ir.Min(idx, ir.Imm(n-1))), ir.FImm(0))
+	})
+
+	s := te.NewSchedule(sums)
+	ax := s.SpatialAxes()
+	s.Bind(ax[0], ir.ForThread) // one processor per chunk, no global sync inside
+	return te.Lower("scan_upsweep", s)
+}
+
+// DecodeBoxKernel builds the SSD location decoding in the IR: anchors and
+// regressions to corner boxes, fully data-parallel.
+// Buffers: anchors (n x 4), loc (n x 4), out (n x 4).
+func DecodeBoxKernel(n int) *te.Kernel {
+	anchors := te.Placeholder("anchors", n, 4)
+	loc := te.Placeholder("loc", n, 4)
+
+	out := te.Compute("decoded", []int{n, 4}, func(ax []ir.Expr) ir.Expr {
+		i, k := ax[0], ax[1]
+		aw := ir.Sub(anchors.Access(i, ir.Imm(2)), anchors.Access(i, ir.Imm(0)))
+		ah := ir.Sub(anchors.Access(i, ir.Imm(3)), anchors.Access(i, ir.Imm(1)))
+		acx := ir.Add(anchors.Access(i, ir.Imm(0)), ir.Mul(aw, ir.FImm(0.5)))
+		acy := ir.Add(anchors.Access(i, ir.Imm(1)), ir.Mul(ah, ir.FImm(0.5)))
+		cx := ir.Add(ir.Mul(ir.Mul(loc.Access(i, ir.Imm(0)), ir.FImm(0.1)), aw), acx)
+		cy := ir.Add(ir.Mul(ir.Mul(loc.Access(i, ir.Imm(1)), ir.FImm(0.1)), ah), acy)
+		w := ir.Mul(&ir.Call{Fn: "exp", Args: []ir.Expr{ir.Mul(loc.Access(i, ir.Imm(2)), ir.FImm(0.2))}, Type: ir.Float32}, aw)
+		h := ir.Mul(&ir.Call{Fn: "exp", Args: []ir.Expr{ir.Mul(loc.Access(i, ir.Imm(3)), ir.FImm(0.2))}, Type: ir.Float32}, ah)
+		half := ir.FImm(0.5)
+		x1 := ir.Sub(cx, ir.Mul(w, half))
+		y1 := ir.Sub(cy, ir.Mul(h, half))
+		x2 := ir.Add(cx, ir.Mul(w, half))
+		y2 := ir.Add(cy, ir.Mul(h, half))
+		return &ir.Select{Cond: ir.LT(k, ir.Imm(1)), A: x1,
+			B: &ir.Select{Cond: ir.LT(k, ir.Imm(2)), A: y1,
+				B: &ir.Select{Cond: ir.LT(k, ir.Imm(3)), A: x2, B: y2}}}
+	})
+
+	s := te.NewSchedule(out)
+	ax := s.SpatialAxes()
+	blk, thr := s.Split(ax[0], 64)
+	s.Bind(blk, ir.ForThreadBlock)
+	s.Bind(thr, ir.ForThread)
+	s.Unroll(ax[1])
+	return te.Lower("decode_box", s)
+}

@@ -1,0 +1,205 @@
+package vision
+
+import (
+	"math"
+
+	"unigpu/internal/tensor"
+)
+
+// MultiboxPrior generates SSD anchor (prior) boxes for one feature map of
+// size fh×fw: one box per (size, first ratio) pair plus one per extra
+// ratio, centered on every cell, in normalized corner coordinates.
+// Output shape: (1, fh*fw*numAnchors, 4).
+func MultiboxPrior(fh, fw int, sizes, ratios []float32) *tensor.Tensor {
+	numAnchors := len(sizes) + len(ratios) - 1
+	out := tensor.New(1, fh*fw*numAnchors, 4)
+	idx := 0
+	for y := 0; y < fh; y++ {
+		cy := (float32(y) + 0.5) / float32(fh)
+		for x := 0; x < fw; x++ {
+			cx := (float32(x) + 0.5) / float32(fw)
+			emit := func(w, h float32) {
+				out.Set(cx-w/2, 0, idx, 0)
+				out.Set(cy-h/2, 0, idx, 1)
+				out.Set(cx+w/2, 0, idx, 2)
+				out.Set(cy+h/2, 0, idx, 3)
+				idx++
+			}
+			// First ratio with every size.
+			r0 := float32(math.Sqrt(float64(ratios[0])))
+			for _, s := range sizes {
+				emit(s*r0, s/r0)
+			}
+			// Remaining ratios with the first size.
+			for _, r := range ratios[1:] {
+				rs := float32(math.Sqrt(float64(r)))
+				emit(sizes[0]*rs, sizes[0]/rs)
+			}
+		}
+	}
+	return out
+}
+
+// MultiboxDetection decodes SSD predictions into detections and applies
+// NMS. clsProb is (batch, numClasses, numAnchors) with class 0 =
+// background; locPred is (batch, numAnchors*4) center-offset regressions;
+// anchors is (1, numAnchors, 4) corner boxes. Variances follow the SSD
+// convention (0.1, 0.1, 0.2, 0.2).
+func MultiboxDetection(clsProb, locPred, anchors *tensor.Tensor, cfg NMSConfig) *tensor.Tensor {
+	s := clsProb.Shape()
+	batch, numClasses, numAnchors := s[0], s[1], s[2]
+	dets := tensor.New(batch, numAnchors, DetWidth)
+	for b := 0; b < batch; b++ {
+		for a := 0; a < numAnchors; a++ {
+			// Pick the best foreground class.
+			bestCls, bestScore := -1, float32(0)
+			for c := 1; c < numClasses; c++ {
+				if p := clsProb.At(b, c, a); p > bestScore {
+					bestScore = p
+					bestCls = c - 1
+				}
+			}
+			box := DecodeBox(
+				[4]float32{anchors.At(0, a, 0), anchors.At(0, a, 1), anchors.At(0, a, 2), anchors.At(0, a, 3)},
+				[4]float32{locPred.At(b, a*4), locPred.At(b, a*4+1), locPred.At(b, a*4+2), locPred.At(b, a*4+3)},
+			)
+			dets.Set(float32(bestCls), b, a, 0)
+			dets.Set(bestScore, b, a, 1)
+			for k := 0; k < 4; k++ {
+				dets.Set(box[k], b, a, 2+k)
+			}
+		}
+	}
+	return BoxNMS(dets, cfg)
+}
+
+// DecodeBox applies SSD center-variance decoding of a location regression
+// against its anchor, returning a corner-format box.
+func DecodeBox(anchor, loc [4]float32) [4]float32 {
+	const vx, vy, vw, vh = 0.1, 0.1, 0.2, 0.2
+	aw := anchor[2] - anchor[0]
+	ah := anchor[3] - anchor[1]
+	acx := anchor[0] + aw/2
+	acy := anchor[1] + ah/2
+	cx := loc[0]*vx*aw + acx
+	cy := loc[1]*vy*ah + acy
+	w := float32(math.Exp(float64(loc[2]*vw))) * aw
+	h := float32(math.Exp(float64(loc[3]*vh))) * ah
+	return [4]float32{cx - w/2, cy - h/2, cx + w/2, cy + h/2}
+}
+
+// ROIAlign extracts fixed-size features for each region of interest with
+// bilinear sampling (no quantization). features is NCHW; rois is
+// (numRois, 5) rows of [batchIdx, x1, y1, x2, y2] in input coordinates;
+// spatialScale maps input coordinates to feature coordinates.
+func ROIAlign(features, rois *tensor.Tensor, pooledH, pooledW int, spatialScale float32, samplingRatio int) *tensor.Tensor {
+	fs := features.Shape()
+	c, fh, fw := fs[1], fs[2], fs[3]
+	numRois := rois.Shape()[0]
+	out := tensor.New(numRois, c, pooledH, pooledW)
+	for r := 0; r < numRois; r++ {
+		b := int(rois.At(r, 0))
+		x1 := rois.At(r, 1) * spatialScale
+		y1 := rois.At(r, 2) * spatialScale
+		x2 := rois.At(r, 3) * spatialScale
+		y2 := rois.At(r, 4) * spatialScale
+		roiW := maxf(x2-x1, 1)
+		roiH := maxf(y2-y1, 1)
+		binW := roiW / float32(pooledW)
+		binH := roiH / float32(pooledH)
+		sr := samplingRatio
+		if sr <= 0 {
+			sr = int(math.Ceil(float64(binH)))
+			if sr < 1 {
+				sr = 1
+			}
+		}
+		for ci := 0; ci < c; ci++ {
+			for py := 0; py < pooledH; py++ {
+				for px := 0; px < pooledW; px++ {
+					var sum float32
+					for sy := 0; sy < sr; sy++ {
+						yy := y1 + float32(py)*binH + (float32(sy)+0.5)*binH/float32(sr)
+						for sx := 0; sx < sr; sx++ {
+							xx := x1 + float32(px)*binW + (float32(sx)+0.5)*binW/float32(sr)
+							sum += bilinear(features, b, ci, yy, xx, fh, fw)
+						}
+					}
+					out.Set(sum/float32(sr*sr), r, ci, py, px)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func bilinear(t *tensor.Tensor, b, c int, y, x float32, h, w int) float32 {
+	if y < -1 || y > float32(h) || x < -1 || x > float32(w) {
+		return 0
+	}
+	y = maxf(y, 0)
+	x = maxf(x, 0)
+	y0, x0 := int(y), int(x)
+	y1, x1 := y0+1, x0+1
+	ly, lx := y-float32(y0), x-float32(x0)
+	if y0 >= h-1 {
+		y0, y1 = h-1, h-1
+		ly = 0
+	}
+	if x0 >= w-1 {
+		x0, x1 = w-1, w-1
+		lx = 0
+	}
+	v00 := t.At(b, c, y0, x0)
+	v01 := t.At(b, c, y0, x1)
+	v10 := t.At(b, c, y1, x0)
+	v11 := t.At(b, c, y1, x1)
+	return v00*(1-ly)*(1-lx) + v01*(1-ly)*lx + v10*ly*(1-lx) + v11*ly*lx
+}
+
+// YoloDecode turns one YOLOv3 detection head output (batch,
+// anchors*(5+classes), gh, gw) into raw detections (batch, gh*gw*anchors,
+// 6). anchorsWH are the head's anchor sizes in input pixels; stride is the
+// input-to-grid downsampling.
+func YoloDecode(feat *tensor.Tensor, anchorsWH [][2]float32, numClasses, stride int) *tensor.Tensor {
+	s := feat.Shape()
+	batch, gh, gw := s[0], s[2], s[3]
+	na := len(anchorsWH)
+	attrs := 5 + numClasses
+	out := tensor.New(batch, gh*gw*na, DetWidth)
+	sig := func(v float32) float32 { return float32(1 / (1 + math.Exp(-float64(v)))) }
+	for b := 0; b < batch; b++ {
+		idx := 0
+		for y := 0; y < gh; y++ {
+			for x := 0; x < gw; x++ {
+				for a := 0; a < na; a++ {
+					ch := a * attrs
+					tx := sig(feat.At(b, ch+0, y, x))
+					ty := sig(feat.At(b, ch+1, y, x))
+					tw := feat.At(b, ch+2, y, x)
+					th := feat.At(b, ch+3, y, x)
+					obj := sig(feat.At(b, ch+4, y, x))
+					bestCls, bestP := 0, float32(0)
+					for c := 0; c < numClasses; c++ {
+						if p := sig(feat.At(b, ch+5+c, y, x)); p > bestP {
+							bestP = p
+							bestCls = c
+						}
+					}
+					cx := (float32(x) + tx) * float32(stride)
+					cy := (float32(y) + ty) * float32(stride)
+					bw := anchorsWH[a][0] * float32(math.Exp(float64(tw)))
+					bh := anchorsWH[a][1] * float32(math.Exp(float64(th)))
+					out.Set(float32(bestCls), b, idx, 0)
+					out.Set(obj*bestP, b, idx, 1)
+					out.Set(cx-bw/2, b, idx, 2)
+					out.Set(cy-bh/2, b, idx, 3)
+					out.Set(cx+bw/2, b, idx, 4)
+					out.Set(cy+bh/2, b, idx, 5)
+					idx++
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package vision
+
+import (
+	"unigpu/internal/tensor"
+)
+
+// Detection layout used throughout: each row is
+// [class_id, score, x1, y1, x2, y2]; class_id < 0 marks an invalid row.
+// This matches MXNet's box_nms convention the paper targets.
+const DetWidth = 6
+
+// NMSConfig configures box non-maximum suppression.
+type NMSConfig struct {
+	IoUThreshold   float32 // overlap above which the lower-scored box dies
+	ScoreThreshold float32 // rows below this score are invalid from the start
+	TopK           int     // consider only the K highest-scored rows (<=0: all)
+	MaxOutput      int     // keep at most this many rows (<=0: all)
+	ForceSuppress  bool    // suppress regardless of class when true
+}
+
+// IoU computes intersection-over-union of two corner-format boxes.
+func IoU(a, b [4]float32) float32 {
+	x1 := maxf(a[0], b[0])
+	y1 := maxf(a[1], b[1])
+	x2 := minf(a[2], b[2])
+	y2 := minf(a[3], b[3])
+	iw := maxf(0, x2-x1)
+	ih := maxf(0, y2-y1)
+	inter := iw * ih
+	areaA := maxf(0, a[2]-a[0]) * maxf(0, a[3]-a[1])
+	areaB := maxf(0, b[2]-b[0]) * maxf(0, b[3]-b[1])
+	union := areaA + areaB - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BoxNMS suppresses duplicate detections in a (batch, num, 6) tensor and
+// returns a tensor of the same shape with surviving rows first (ordered by
+// descending score) and every other row invalidated (class_id = -1).
+//
+// This is the optimized formulation of §4.3: all output rows start invalid
+// (no comparison-style writes), the candidate order comes from one
+// segmented argsort over the whole batch (one kernel, load-balanced), and
+// the suppression mask for each accepted box is computed over all later
+// candidates in a data-parallel sweep with predicated updates (no
+// divergent branching in the inner loop).
+func BoxNMS(dets *tensor.Tensor, cfg NMSConfig) *tensor.Tensor {
+	s := dets.Shape()
+	batch, num := s[0], s[1]
+	out := tensor.New(batch, num, DetWidth)
+	// Initialize all output to invalid, not comparison-by-comparison.
+	for i := 0; i < batch*num; i++ {
+		out.Data()[i*DetWidth] = -1
+	}
+
+	// One segmented sort across the whole batch (scores descending).
+	scores := make([]float32, batch*num)
+	for b := 0; b < batch; b++ {
+		for i := 0; i < num; i++ {
+			scores[b*num+i] = dets.At(b, i, 1)
+		}
+	}
+	sizes := make([]int, batch)
+	for b := range sizes {
+		sizes[b] = num
+	}
+	order := SegmentedArgsort(scores, NewEvenSegments(sizes...), true)
+
+	for b := 0; b < batch; b++ {
+		nmsOneBatch(dets, out, order[b*num:(b+1)*num], b, num, cfg)
+	}
+	return out
+}
+
+func nmsOneBatch(dets, out *tensor.Tensor, order []int32, b, num int, cfg NMSConfig) {
+	limit := num
+	if cfg.TopK > 0 && cfg.TopK < limit {
+		limit = cfg.TopK
+	}
+	type cand struct {
+		cls   float32
+		score float32
+		box   [4]float32
+	}
+	cands := make([]cand, 0, limit)
+	for _, flat := range order[:limit] {
+		i := int(flat) - b*num
+		c := cand{
+			cls:   dets.At(b, i, 0),
+			score: dets.At(b, i, 1),
+			box:   [4]float32{dets.At(b, i, 2), dets.At(b, i, 3), dets.At(b, i, 4), dets.At(b, i, 5)},
+		}
+		if c.cls < 0 || c.score < cfg.ScoreThreshold {
+			continue
+		}
+		cands = append(cands, c)
+	}
+
+	alive := make([]bool, len(cands))
+	for i := range alive {
+		alive[i] = true
+	}
+	kept := 0
+	maxOut := len(cands)
+	if cfg.MaxOutput > 0 && cfg.MaxOutput < maxOut {
+		maxOut = cfg.MaxOutput
+	}
+	for i := 0; i < len(cands) && kept < maxOut; i++ {
+		if !alive[i] {
+			continue
+		}
+		c := cands[i]
+		out.Set(c.cls, b, kept, 0)
+		out.Set(c.score, b, kept, 1)
+		for k := 0; k < 4; k++ {
+			out.Set(c.box[k], b, kept, 2+k)
+		}
+		kept++
+		// Predicated parallel suppression sweep over later candidates.
+		for j := i + 1; j < len(cands); j++ {
+			sameClass := cfg.ForceSuppress || cands[j].cls == c.cls
+			suppress := sameClass && IoU(c.box, cands[j].box) > cfg.IoUThreshold
+			alive[j] = alive[j] && !suppress
+		}
+	}
+}
+
+// SequentialNMS is the straightforward CPU reference used by property
+// tests and by the fallback experiment (§3.1.2): greedy per-batch
+// suppression with an explicit per-segment sort.
+func SequentialNMS(dets *tensor.Tensor, cfg NMSConfig) *tensor.Tensor {
+	s := dets.Shape()
+	batch, num := s[0], s[1]
+	out := tensor.New(batch, num, DetWidth)
+	for i := 0; i < batch*num; i++ {
+		out.Data()[i*DetWidth] = -1
+	}
+	for b := 0; b < batch; b++ {
+		scores := make([]float32, num)
+		for i := 0; i < num; i++ {
+			scores[i] = dets.At(b, i, 1)
+		}
+		order := NaiveSegmentedArgsort(scores, NewEvenSegments(num), true)
+		ord := make([]int32, num)
+		for i, o := range order {
+			ord[i] = o + int32(b*num)
+		}
+		nmsOneBatch(dets, out, ord, b, num, cfg)
+	}
+	return out
+}

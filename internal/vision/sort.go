@@ -1,0 +1,200 @@
+// Package vision implements the vision-specific operators of §3.1 —
+// segmented argsort (Figure 2), the three-stage register-blocked prefix sum
+// (Figure 3), divergence-free box NMS, multibox prior/detection, ROIAlign
+// and YOLO box decoding — using the same parallel decompositions the paper
+// lowers to integrated GPUs, with host goroutines standing in for thread
+// blocks. Each operator ships with a sequential reference used by the
+// property tests, and internal/vision/cost.go prices the optimized and the
+// naive GPU implementations on the simulated devices for the Table 4
+// ablation.
+package vision
+
+import (
+	"sort"
+	"sync"
+)
+
+// Segments describes a flattened batch of variable-length segments:
+// segment i occupies [Starts[i], Starts[i+1]) of the flat data array.
+// Starts has length numSegments+1.
+type Segments struct {
+	Starts []int
+}
+
+// NumSegments returns the number of segments.
+func (s Segments) NumSegments() int { return len(s.Starts) - 1 }
+
+// Len returns the total flattened length.
+func (s Segments) Len() int { return s.Starts[len(s.Starts)-1] }
+
+// SegmentOf returns the segment containing flat position p.
+func (s Segments) SegmentOf(p int) int {
+	// Binary search over starts.
+	lo, hi := 0, s.NumSegments()-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.Starts[mid] <= p {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// NewEvenSegments builds n segments of the given sizes.
+func NewEvenSegments(sizes ...int) Segments {
+	starts := make([]int, len(sizes)+1)
+	for i, sz := range sizes {
+		starts[i+1] = starts[i] + sz
+	}
+	return Segments{Starts: starts}
+}
+
+type keyed struct {
+	key float32
+	seg int32
+	idx int32 // original flat position
+}
+
+// SegmentedArgsort sorts every segment of the flattened array independently
+// (descending by default, as NMS consumes scores), returning for each flat
+// position the original index of the element now stored there.
+//
+// The implementation follows Figure 2: the data is already flat; it is
+// chopped into equal-size blocks (not per-segment pieces), each block is
+// sorted locally in parallel ("block sorting"), and then cooperative merge
+// rounds double the merged width until the whole array is ordered. Segment
+// identity is the major sort key, so segments — contiguous in the flat
+// array — never interleave, and only blocks spanning an active interface
+// between two runs do comparison work in a merge round.
+func SegmentedArgsort(data []float32, segs Segments, descending bool) []int32 {
+	n := segs.Len()
+	if n != len(data) {
+		panic("vision: segment starts do not cover the data")
+	}
+	items := make([]keyed, n)
+	for i := range items {
+		items[i] = keyed{key: data[i], seg: int32(segs.SegmentOf(i)), idx: int32(i)}
+	}
+	less := lessFn(descending)
+
+	const blockSize = 256
+	numBlocks := (n + blockSize - 1) / blockSize
+
+	// Block sorting: one "thread block" per chunk, in parallel.
+	var wg sync.WaitGroup
+	for b := 0; b < numBlocks; b++ {
+		lo := b * blockSize
+		hi := min(lo+blockSize, n)
+		wg.Add(1)
+		go func(part []keyed) {
+			defer wg.Done()
+			sort.SliceStable(part, func(i, j int) bool { return less(part[i], part[j]) })
+		}(items[lo:hi])
+	}
+	wg.Wait()
+
+	// Cooperative merge: coop 2, coop 4, ... (Figure 2). Each round merges
+	// adjacent sorted runs of `width` blocks; runs whose interface is
+	// already ordered are skipped (the "active interface" optimization).
+	buf := make([]keyed, n)
+	for width := blockSize; width < n; width *= 2 {
+		var mg sync.WaitGroup
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			if mid >= hi {
+				continue
+			}
+			if !less(items[mid], items[mid-1]) {
+				continue // interface already ordered; no work
+			}
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(items, buf, lo, mid, hi, less)
+			}(lo, mid, hi)
+		}
+		mg.Wait()
+	}
+
+	out := make([]int32, n)
+	for i, it := range items {
+		out[i] = it.idx
+	}
+	return out
+}
+
+func lessFn(descending bool) func(a, b keyed) bool {
+	if descending {
+		return func(a, b keyed) bool {
+			if a.seg != b.seg {
+				return a.seg < b.seg
+			}
+			if a.key != b.key {
+				return a.key > b.key
+			}
+			return a.idx < b.idx // stable within equal keys
+		}
+	}
+	return func(a, b keyed) bool {
+		if a.seg != b.seg {
+			return a.seg < b.seg
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.idx < b.idx
+	}
+}
+
+func mergeRuns(items, buf []keyed, lo, mid, hi int, less func(a, b keyed) bool) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if less(items[j], items[i]) {
+			buf[k] = items[j]
+			j++
+		} else {
+			buf[k] = items[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], items[i:mid])
+	copy(buf[k+(mid-i):], items[j:hi])
+	copy(items[lo:hi], buf[lo:hi])
+}
+
+// NaiveSegmentedArgsort is the per-segment baseline: each variable-length
+// segment is sorted on its own. On a GPU this is the fine-grained,
+// load-imbalanced formulation Figure 2 replaces; it is kept as the ablation
+// baseline and as a reference implementation.
+func NaiveSegmentedArgsort(data []float32, segs Segments, descending bool) []int32 {
+	out := make([]int32, len(data))
+	for s := 0; s < segs.NumSegments(); s++ {
+		lo, hi := segs.Starts[s], segs.Starts[s+1]
+		idx := make([]int32, hi-lo)
+		for i := range idx {
+			idx[i] = int32(lo + i)
+		}
+		sort.SliceStable(idx, func(i, j int) bool {
+			a, b := data[idx[i]], data[idx[j]]
+			if a == b {
+				return idx[i] < idx[j]
+			}
+			if descending {
+				return a > b
+			}
+			return a < b
+		})
+		copy(out[lo:hi], idx)
+	}
+	return out
+}
+
+// Argsort sorts one flat array, returning source indices; the single-
+// segment case of SegmentedArgsort.
+func Argsort(data []float32, descending bool) []int32 {
+	return SegmentedArgsort(data, NewEvenSegments(len(data)), descending)
+}

@@ -1,0 +1,186 @@
+// Package unigpu is a unified optimization stack for CNN model inference
+// on integrated GPUs — a from-scratch Go reproduction of Wang et al.,
+// "A Unified Optimization Approach for CNN Model Inference on Integrated
+// GPUs" (ICPP 2019).
+//
+// The stack compiles CNN models (ResNet, MobileNet, SqueezeNet, SSD,
+// YOLOv3) through a unified tensor IR, searches convolution schedules with
+// machine-learning-guided tuning (AutoTVM-style) plus a graph-level layout
+// tuner, implements the vision-specific operators (segmented argsort,
+// register-blocked prefix sum, divergence-free NMS) as GPU-shaped parallel
+// algorithms, and supports falling individual operators back to the CPU.
+// Because Go cannot drive Intel/Mali/Nvidia silicon, execution latency
+// comes from calibrated analytical device models (see internal/sim and
+// DESIGN.md), while functional results are computed exactly.
+//
+// Quick start:
+//
+//	eng := unigpu.NewEngine()
+//	cm, err := eng.Compile("ResNet50_v1", unigpu.DeepLens, unigpu.CompileOptions{})
+//	out, err := cm.Run(input)          // functional inference
+//	ms := cm.PredictedLatencyMs        // simulated device latency
+package unigpu
+
+import (
+	"fmt"
+
+	"unigpu/internal/bench"
+	"unigpu/internal/graph"
+	"unigpu/internal/models"
+	"unigpu/internal/runtime"
+	"unigpu/internal/sim"
+	"unigpu/internal/tensor"
+)
+
+// Re-exported substrate types so callers outside this module can name them.
+type (
+	// Tensor is a dense float32 n-dimensional array.
+	Tensor = tensor.Tensor
+	// Platform couples an integrated GPU with its companion CPU.
+	Platform = sim.Platform
+	// Device is one compute device of an SoC.
+	Device = sim.Device
+)
+
+// The three evaluation platforms of the paper (§4.1).
+var (
+	DeepLens   = sim.DeepLens
+	AiSage     = sim.AiSage
+	JetsonNano = sim.JetsonNano
+)
+
+// NewTensor allocates a zero-filled tensor.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// ModelNames lists the supported model zoo (§4.1).
+func ModelNames() []string { return models.Names() }
+
+// Platforms lists the three evaluation platforms in paper order.
+func Platforms() []*Platform { return sim.Platforms() }
+
+// Engine owns the tuning caches shared across compilations (the per-
+// platform schedule database of §3.2.3).
+type Engine struct {
+	est *bench.Estimator
+}
+
+// NewEngine creates an engine with default search budgets.
+func NewEngine() *Engine { return &Engine{est: bench.NewEstimator()} }
+
+// CompileOptions configures one compilation.
+type CompileOptions struct {
+	// InputSize overrides the model's default square input (224/512/320).
+	InputSize int
+	// SkipTuning compiles with the pre-tuning default schedules (the
+	// "Before" configuration of Table 5).
+	SkipTuning bool
+	// NaiveVisionOps disables the §3.1 vision-operator optimizations (the
+	// "Before" configuration of Table 4).
+	NaiveVisionOps bool
+	// FallbackNMS places box_nms (and its sorting) on the companion CPU
+	// instead of the integrated GPU (§3.1.2).
+	FallbackNMS bool
+}
+
+// CompiledModel is a model optimized for one platform.
+type CompiledModel struct {
+	Name     string
+	Platform *Platform
+	// PredictedLatencyMs is the end-to-end latency on the simulated
+	// device: tuned conv kernels + layout transforms + elementwise ops +
+	// vision-operator pipeline (+ fallback copies when enabled).
+	PredictedLatencyMs float64
+	// ConvKernelMs / TransformMs / VisionMs break the prediction down.
+	ConvKernelMs float64
+	TransformMs  float64
+	VisionMs     float64
+	// NodesOnCPU counts operators placed on the companion CPU.
+	NodesOnCPU int
+	// CopiesInserted counts device_copy nodes from the placement pass.
+	CopiesInserted int
+
+	model *models.Model
+}
+
+// Compile builds, graph-optimizes, places, tunes and prices a model.
+func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*CompiledModel, error) {
+	known := false
+	for _, n := range models.Names() {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unigpu: unknown model %q (have %v)", name, models.Names())
+	}
+	size := opts.InputSize
+	if size == 0 {
+		size = models.DefaultInputSize(name)
+		if p == AiSage && (name == "SSD_MobileNet1.0" || name == "SSD_ResNet50") {
+			size = 300 // Mali memory limitation (§4.2)
+		}
+	}
+	m := models.Build(name, size, false)
+	graph.Optimize(m.Graph)
+
+	cm := &CompiledModel{Name: name, Platform: p, model: m}
+
+	// Device placement (§3.1.2): everything GPU-friendly stays on the GPU;
+	// the fallback option sends NMS (and the detection decode it sorts
+	// for) to the CPU.
+	placement := graph.PlacementOptions{}
+	if opts.FallbackNMS {
+		placement.FallbackKinds = map[string]bool{"box_nms": true, "multibox_detection": true}
+	}
+	cm.CopiesInserted = graph.PlaceDevices(m.Graph, placement)
+	cm.NodesOnCPU = m.Graph.Summary().OnCPU
+
+	// Latency prediction on the simulated device.
+	var convMs, transformMs float64
+	if opts.SkipTuning {
+		convMs = e.est.UntunedConvMs(m, p.GPU)
+	} else {
+		plan := e.est.TunedConvMs(m, p.GPU)
+		convMs = plan.KernelMs
+		transformMs = plan.TransformMs
+	}
+	var visMs float64
+	switch {
+	case m.Vision == nil:
+	case opts.FallbackNMS:
+		visMs = bench.FallbackVisionMs(m.Vision, p)
+	case opts.NaiveVisionOps:
+		visMs = bench.NaiveVisionMs(m.Vision, p.GPU)
+	default:
+		visMs = bench.OptimizedVisionMs(m.Vision, p.GPU)
+	}
+	cm.ConvKernelMs = convMs
+	cm.TransformMs = transformMs
+	cm.VisionMs = visMs
+	cm.PredictedLatencyMs = convMs + transformMs + e.est.OtherOpsMs(m, p.GPU) + visMs
+	return cm, nil
+}
+
+// InputShape returns the expected input tensor shape (1, 3, s, s).
+func (cm *CompiledModel) InputShape() []int {
+	s := cm.model.InputSize
+	return []int{1, 3, s, s}
+}
+
+// Run executes the compiled model functionally on the host and returns the
+// output tensor (class probabilities, or detections [class, score, box]).
+func (cm *CompiledModel) Run(input *Tensor) (*Tensor, error) {
+	res, err := runtime.Execute(cm.model.Graph, map[string]*tensor.Tensor{"data": input})
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs[0], nil
+}
+
+// GraphStats summarises the optimized graph.
+func (cm *CompiledModel) GraphStats() graph.Stats { return cm.model.Graph.Summary() }
+
+// Experiments exposes the paper's evaluation harness (Tables 1-5, the
+// fallback experiment) on this engine's caches.
+func (e *Engine) Experiments() *bench.Estimator { return e.est }

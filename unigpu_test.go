@@ -1,0 +1,102 @@
+package unigpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompileAndRunClassification(t *testing.T) {
+	eng := NewEngine()
+	cm, err := eng.Compile("SqueezeNet1.0", JetsonNano, CompileOptions{InputSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.PredictedLatencyMs <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	in := NewTensor(cm.InputShape()...)
+	in.FillRandom(1)
+	out, err := cm.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+}
+
+func TestCompileUnknownModel(t *testing.T) {
+	if _, err := NewEngine().Compile("VGG", DeepLens, CompileOptions{}); err == nil {
+		t.Fatal("unknown models must error (the paper excludes VGG as too large for the edge)")
+	}
+}
+
+func TestSkipTuningIsSlower(t *testing.T) {
+	eng := NewEngine()
+	tuned, err := eng.Compile("SqueezeNet1.0", JetsonNano, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	untuned, err := eng.Compile("SqueezeNet1.0", JetsonNano, CompileOptions{SkipTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.PredictedLatencyMs >= untuned.PredictedLatencyMs {
+		t.Fatalf("tuned %.2f ms should beat untuned %.2f ms",
+			tuned.PredictedLatencyMs, untuned.PredictedLatencyMs)
+	}
+}
+
+func TestFallbackPlacement(t *testing.T) {
+	eng := NewEngine()
+	fb, err := eng.Compile("SSD_MobileNet1.0", DeepLens, CompileOptions{InputSize: 128, FallbackNMS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.NodesOnCPU == 0 || fb.CopiesInserted == 0 {
+		t.Fatalf("fallback should place ops on the CPU and insert copies, got %d/%d",
+			fb.NodesOnCPU, fb.CopiesInserted)
+	}
+	all, err := eng.Compile("SSD_MobileNet1.0", DeepLens, CompileOptions{InputSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NodesOnCPU != 0 {
+		t.Fatal("default placement keeps everything on the GPU")
+	}
+	// The fallback graph still runs functionally.
+	in := NewTensor(fb.InputShape()...)
+	in.FillRandom(3)
+	if _, err := fb.Run(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAiSageDefaultsTo300ForSSD(t *testing.T) {
+	eng := NewEngine()
+	cm, err := eng.Compile("SSD_ResNet50", AiSage, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.InputShape()[2]; got != 300 {
+		t.Fatalf("aiSage SSD input = %d, want 300", got)
+	}
+}
+
+func TestPublicSurfaces(t *testing.T) {
+	if len(ModelNames()) != 6 {
+		t.Fatal("six evaluation models")
+	}
+	if len(Platforms()) != 3 {
+		t.Fatal("three platforms")
+	}
+	for _, p := range Platforms() {
+		if p.GPU == nil || p.CPU == nil {
+			t.Fatal("platforms pair a GPU with a CPU")
+		}
+	}
+}
