@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench trace
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the CI gate: compile everything, lint, and run the full test
+# suite under the race detector.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# trace produces a sample Chrome trace + metrics dump from a quick run.
+trace:
+	$(GO) run ./cmd/unigpu-run -model SqueezeNet1.0 -size 64 -trace trace.json -metrics

@@ -4,14 +4,41 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"unigpu/internal/bench"
+	"unigpu/internal/obs"
 )
 
 func main() {
+	log.SetFlags(0)
 	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,all")
+	jsonPath := flag.String("json", "", "also write Tables 1-3 results as machine-readable JSON to this file")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
 	flag.Parse()
+
+	if *trace != "" || *metrics {
+		obs.Enable()
+	}
 	e := bench.NewEstimator()
+	defer func() {
+		if *jsonPath != "" {
+			if err := bench.WritePerfJSONFile(*jsonPath, e.PerfRecords()); err != nil {
+				log.Fatalf("write json: %v", err)
+			}
+			log.Printf("perf records written to %s", *jsonPath)
+		}
+		if *trace != "" {
+			if err := obs.WriteChromeTraceFile(*trace); err != nil {
+				log.Fatalf("write trace: %v", err)
+			}
+			log.Printf("trace written to %s (%d spans)", *trace, len(obs.Records()))
+		}
+		if *metrics {
+			fmt.Print(obs.DumpMetrics())
+		}
+	}()
 	switch *table {
 	case "experiments":
 		fmt.Print(e.ExperimentsReport())

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"unigpu"
+	"unigpu/internal/obs"
 )
 
 func main() {
@@ -20,7 +21,13 @@ func main() {
 	fallback := flag.Bool("fallback-nms", false, "place NMS on the companion CPU (§3.1.2)")
 	untuned := flag.Bool("untuned", false, "skip schedule tuning (Table 5's Before)")
 	list := flag.Bool("list", false, "list models and platforms")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
 	flag.Parse()
+
+	if *trace != "" || *metrics {
+		obs.Enable()
+	}
 
 	if *list {
 		fmt.Println("models:", unigpu.ModelNames())
@@ -85,5 +92,15 @@ func main() {
 			}
 		}
 		fmt.Printf("top class: %d (p=%.4f)\n", best, bestP)
+	}
+
+	if *trace != "" {
+		if err := obs.WriteChromeTraceFile(*trace); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *trace, len(obs.Records()))
+	}
+	if *metrics {
+		fmt.Print(obs.DumpMetrics())
 	}
 }

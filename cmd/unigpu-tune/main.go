@@ -12,6 +12,7 @@ import (
 	"unigpu/internal/autotvm"
 	"unigpu/internal/codegen"
 	"unigpu/internal/models"
+	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/sim"
 	"unigpu/internal/templates"
@@ -26,7 +27,13 @@ func main() {
 	dbPath := flag.String("db", "tuning_records.json", "tuning-records database path")
 	emit := flag.Bool("emit", false, "print the generated CUDA/OpenCL for the best schedule")
 	seed := flag.Int64("seed", 1, "search RNG seed")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics dump after tuning")
 	flag.Parse()
+
+	if *trace != "" || *metrics {
+		obs.Enable()
+	}
 
 	var platform *sim.Platform
 	switch *device {
@@ -95,4 +102,14 @@ func main() {
 		log.Fatalf("save db: %v", err)
 	}
 	log.Printf("database %s now holds %d records", *dbPath, db.Len())
+
+	if *trace != "" {
+		if err := obs.WriteChromeTraceFile(*trace); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		log.Printf("trace written to %s (%d spans)", *trace, len(obs.Records()))
+	}
+	if *metrics {
+		fmt.Print(obs.DumpMetrics())
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/sim"
 	"unigpu/internal/templates"
@@ -57,8 +58,33 @@ func (o *Options) normalize() {
 	}
 }
 
+// traced runs one searcher under an autotvm.task span, counting every
+// measurement into tune.trials / tune.trial_ms and recording the winner in
+// the tune.best_ms gauge.
+func traced(search string, t Task, opts Options, run func(Task, Options) Result) Result {
+	opts.normalize()
+	sp := obs.Start("autotvm.task",
+		obs.KV("search", search), obs.KV("workload", t.Workload.Key()), obs.KV("device", t.Device.Name))
+	inner := opts.Measure
+	opts.Measure = func(t Task, cfg templates.Config) float64 {
+		ms := inner(t, cfg)
+		obs.Count("tune.trials", 1)
+		obs.Observe("tune.trial_ms", ms)
+		return ms
+	}
+	res := run(t, opts)
+	sp.SetAttrs(obs.KVInt("trials", res.Trials), obs.KVFloat("best_ms", res.Ms))
+	sp.End()
+	obs.SetGauge("tune.best_ms", res.Ms)
+	return res
+}
+
 // RandomSearch samples the space uniformly.
 func RandomSearch(t Task, opts Options) Result {
+	return traced("random", t, opts, randomSearch)
+}
+
+func randomSearch(t Task, opts Options) Result {
 	opts.normalize()
 	space := templates.ConfigSpace(t.Workload, t.Device)
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -78,6 +104,10 @@ func RandomSearch(t Task, opts Options) Result {
 // GridSearch measures every configuration; exact but only affordable for
 // small spaces (used as ground truth in tests).
 func GridSearch(t Task, opts Options) Result {
+	return traced("grid", t, opts, gridSearch)
+}
+
+func gridSearch(t Task, opts Options) Result {
 	opts.normalize()
 	best := Result{Ms: math.Inf(1)}
 	for _, cfg := range templates.ConfigSpace(t.Workload, t.Device) {
@@ -94,6 +124,10 @@ func GridSearch(t Task, opts Options) Result {
 // SimulatedAnnealing walks the space by mutating one knob at a time with a
 // Metropolis acceptance rule and geometric cooling.
 func SimulatedAnnealing(t Task, opts Options) Result {
+	return traced("sa", t, opts, simulatedAnnealing)
+}
+
+func simulatedAnnealing(t Task, opts Options) Result {
 	opts.normalize()
 	space := templates.ConfigSpace(t.Workload, t.Device)
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -164,6 +198,10 @@ func diffKnobs(a, b templates.Config) int {
 // repeatedly rank a large candidate pool with the model and spend the
 // measurement budget only on the predicted-best unmeasured configs.
 func ModelGuidedSearch(t Task, opts Options) Result {
+	return traced("model", t, opts, modelGuidedSearch)
+}
+
+func modelGuidedSearch(t Task, opts Options) Result {
 	opts.normalize()
 	space := templates.ConfigSpace(t.Workload, t.Device)
 	rng := rand.New(rand.NewSource(opts.Seed))

@@ -11,6 +11,7 @@ import (
 	"unigpu/internal/graph"
 	"unigpu/internal/graphtuner"
 	"unigpu/internal/models"
+	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/sim"
 	"unigpu/internal/templates"
@@ -86,11 +87,16 @@ func (e *Estimator) candidates(w ops.ConvWorkload, d *sim.Device) []graphtuner.C
 // TunedConvMs runs the graph tuner's DP over the model's conv sequence and
 // returns total kernel+transform milliseconds.
 func (e *Estimator) TunedConvMs(m *models.Model, d *sim.Device) graphtuner.Plan {
+	sp := obs.Start("tune.conv_plan",
+		obs.KVInt("convs", len(m.Convs)), obs.KV("device", d.Name))
+	defer sp.End()
 	cands := make([][]graphtuner.Candidate, len(m.Convs))
 	for i, w := range m.Convs {
 		cands[i] = e.candidates(w, d)
 	}
-	return graphtuner.Optimize(m.Convs, cands, d)
+	plan := graphtuner.Optimize(m.Convs, cands, d)
+	sp.SetAttrs(obs.KVFloat("total_ms", plan.TotalMs))
+	return plan
 }
 
 // UntunedConvMs prices every conv with the pre-tuning default schedule

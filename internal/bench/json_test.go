@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestPerfRecordsRoundTrip(t *testing.T) {
+	recs := []PerfRecord{
+		{Model: "SqueezeNet1.0", Platform: "DeepLens (Intel)", PredictedMs: 10.5,
+			Baseline: "OpenVINO", BaselineMs: 21, Speedup: 2},
+		{Model: "Yolov3", Platform: "Jetson Nano (Nvidia)", PredictedMs: 99.9},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var back []PerfRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("perf JSON does not parse: %v", err)
+	}
+	if len(back) != 2 || back[0] != recs[0] || back[1] != recs[1] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	// Unsupported baselines are omitted, not zero-filled.
+	if bytes.Contains(buf.Bytes(), []byte(`"baseline_ms": 0`)) {
+		t.Fatal("omitempty lost on baseline fields")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"unigpu/internal/ir"
+	"unigpu/internal/obs"
 	"unigpu/internal/te"
 )
 
@@ -78,8 +79,14 @@ func Launch(k *te.Kernel) LaunchConfig {
 
 // Emit renders the kernel in the given dialect.
 func Emit(k *te.Kernel, target Target) string {
+	sp := obs.Start("codegen.emit",
+		obs.KV("kernel", k.Name), obs.KV("target", target.String()))
 	g := &generator{target: target, dims: map[string]string{}}
-	return g.kernel(k)
+	src := g.kernel(k)
+	sp.SetAttrs(obs.KVInt("lines", LineCount(src)))
+	sp.End()
+	obs.Count("codegen.kernels", 1)
+	return src
 }
 
 // LineCount returns the number of non-blank source lines Emit produces;

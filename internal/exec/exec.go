@@ -16,6 +16,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 
 	"unigpu/internal/ir"
 	"unigpu/internal/te"
@@ -51,11 +52,15 @@ func RunKernel(k *te.Kernel, env *Env) error {
 	return Run(k.Body, env)
 }
 
-// Run executes a statement tree against the environment.
+// Run executes a statement tree against the environment. A panic inside
+// the interpreter (out-of-range store, unbound buffer, unknown intrinsic)
+// is returned as an error carrying the interpreter stack, so a
+// mis-executed kernel points at the offending statement, not just the
+// message.
 func Run(s ir.Stmt, env *Env) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("exec: %v", r)
+			err = fmt.Errorf("exec: %v\n%s", r, debug.Stack())
 		}
 	}()
 	execStmt(s, env)

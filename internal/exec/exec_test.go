@@ -142,6 +142,23 @@ func TestErrorsAreReportedNotPanics(t *testing.T) {
 	}
 }
 
+func TestPanicErrorCarriesStack(t *testing.T) {
+	// A kernel mis-execution must be diagnosable: the recovered error
+	// carries the interpreter stack pointing at the failing statement.
+	s := &ir.Store{Buffer: "out", Index: ir.Imm(9), Value: ir.Imm(1)}
+	env := NewEnv()
+	env.Bind("out", make([]float32, 1))
+	err := Run(s, env)
+	if err == nil {
+		t.Fatal("out-of-range store must error")
+	}
+	for _, want := range []string{"goroutine", "execStmt"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error lacks stack frame %q:\n%v", want, err)
+		}
+	}
+}
+
 func TestSelectIsLazy(t *testing.T) {
 	// The untaken branch must not be evaluated: padding guards rely on it.
 	cond := ir.LT(ir.Imm(0), ir.Imm(1)) // true -> A

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/tensor"
 )
@@ -136,12 +137,25 @@ func PrecomputeConstants(g *Graph) int {
 	return done
 }
 
-// Optimize runs the standard graph-level pipeline.
+// Optimize runs the standard graph-level pipeline. Each pass gets its own
+// tracing span, and mutation counts feed the graph.pass_mutations counter.
 func Optimize(g *Graph) {
-	FoldBatchNorm(g)
-	FuseActivations(g)
-	PrecomputeConstants(g)
-	g.EliminateDead()
+	sp := obs.Start("graph.optimize", obs.KVInt("nodes", len(g.Nodes)))
+	defer sp.End()
+	runPass(g, "fold_batch_norm", FoldBatchNorm)
+	runPass(g, "fuse_activations", FuseActivations)
+	runPass(g, "precompute_constants", PrecomputeConstants)
+	runPass(g, "eliminate_dead", func(g *Graph) int { return g.EliminateDead() })
+}
+
+// runPass times one graph pass and records how many nodes it mutated.
+func runPass(g *Graph, name string, pass func(*Graph) int) int {
+	sp := obs.Start("graph.pass." + name)
+	n := pass(g)
+	sp.SetAttrs(obs.KVInt("mutations", n))
+	sp.End()
+	obs.Count("graph.pass_mutations", int64(n))
+	return n
 }
 
 // PlacementOptions configures the two-pass fallback placement (§3.1.2).
@@ -158,6 +172,8 @@ type PlacementOptions struct {
 // between any two directly connected nodes on different devices. Returns
 // the number of copies inserted.
 func PlaceDevices(g *Graph, opts PlacementOptions) int {
+	sp := obs.Start("graph.place_devices", obs.KVInt("fallback_kinds", len(opts.FallbackKinds)))
+	defer sp.End()
 	// Pass 1: tag device properties.
 	for _, n := range g.Nodes {
 		if n.Op == nil {
@@ -189,6 +205,8 @@ func PlaceDevices(g *Graph, opts PlacementOptions) int {
 		}
 	}
 	resort(g)
+	sp.SetAttrs(obs.KVInt("copies", copies))
+	obs.Count("copy.bytes", int64(CopyBytes(g)))
 	return copies
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/sim"
 	"unigpu/internal/templates"
@@ -32,12 +33,17 @@ var LayoutBlocks = []int{1, 2, 4, 8, 16, 32}
 // block, so the candidate's kernel time reflects operating natively in
 // that layout.
 func CandidatesFor(w ops.ConvWorkload, d *sim.Device, budget int, seed int64) []Candidate {
+	sp := obs.Start("graphtuner.candidates",
+		obs.KV("workload", w.Key()), obs.KV("device", d.Name))
+	defer sp.End()
 	space := templates.ConfigSpace(w, d)
 	var out []Candidate
+	measured := 0
 	for _, b := range LayoutBlocks {
 		if b > w.COut {
 			continue
 		}
+		lsp := sp.Child("graphtuner.layout", obs.KVInt("block", b))
 		// A schedule is compatible with layout NCHW[b]c when its output-
 		// channel tile is a multiple of the block, so the kernel writes
 		// whole blocks.
@@ -48,6 +54,7 @@ func CandidatesFor(w ops.ConvWorkload, d *sim.Device, budget int, seed int64) []
 			}
 		}
 		if len(restricted) == 0 {
+			lsp.End()
 			continue
 		}
 		rng := rand.New(rand.NewSource(seed + int64(b)))
@@ -70,8 +77,13 @@ func CandidatesFor(w ops.ConvWorkload, d *sim.Device, budget int, seed int64) []
 				}
 			}
 		}
+		measured += trials
+		lsp.SetAttrs(obs.KVInt("trials", trials), obs.KVFloat("best_ms", best.KernelMs))
+		lsp.End()
 		out = append(out, best)
 	}
+	obs.Count("tune.trials", int64(measured))
+	sp.SetAttrs(obs.KVInt("trials", measured), obs.KVInt("layouts", len(out)))
 	return out
 }
 
@@ -106,6 +118,8 @@ func Optimize(workloads []ops.ConvWorkload, cands [][]Candidate, d *sim.Device) 
 	if n == 0 {
 		return Plan{}
 	}
+	sp := obs.Start("graphtuner.dp", obs.KVInt("convs", n))
+	defer sp.End()
 	const inf = math.MaxFloat64
 	dp := make([][]float64, n)
 	arg := make([][]int, n)
@@ -154,6 +168,7 @@ func Optimize(workloads []ops.ConvWorkload, cands [][]Candidate, d *sim.Device) 
 		plan.TransformMs += t
 		prev = c.Block
 	}
+	sp.SetAttrs(obs.KVFloat("total_ms", plan.TotalMs), obs.KVInt("transforms", plan.TransformCnt))
 	return plan
 }
 
@@ -188,6 +203,9 @@ func Greedy(workloads []ops.ConvWorkload, cands [][]Candidate, d *sim.Device) Pl
 // TuneSequence is the convenience entry: generate candidates per node and
 // run the DP.
 func TuneSequence(workloads []ops.ConvWorkload, d *sim.Device, budget int, seed int64) Plan {
+	sp := obs.Start("graphtuner.tune_sequence",
+		obs.KVInt("convs", len(workloads)), obs.KV("device", d.Name))
+	defer sp.End()
 	cands := make([][]Candidate, len(workloads))
 	for i, w := range workloads {
 		cands[i] = CandidatesFor(w, d, budget, seed)

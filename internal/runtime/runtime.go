@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"unigpu/internal/graph"
+	"unigpu/internal/obs"
 	"unigpu/internal/tensor"
 )
 
@@ -34,6 +35,14 @@ type Result struct {
 // executor frees intermediate tensors as soon as their last consumer has
 // run (reference-counted memory planning).
 func Execute(g *graph.Graph, feeds map[string]*tensor.Tensor) (*Result, error) {
+	// Per-node spans and the exec.node_wall_ns histogram are gated on the
+	// tracing flag so the disabled path stays allocation-free.
+	traceOn := obs.Enabled()
+	sp := obs.Start("runtime.execute")
+	if traceOn {
+		sp.SetAttrs(obs.KVInt("nodes", len(g.Nodes)))
+	}
+	defer sp.End()
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,8 +84,19 @@ func Execute(g *graph.Graph, feeds map[string]*tensor.Tensor) (*Result, error) {
 				}
 				ins[i] = v
 			}
+			var nsp *obs.Span
+			if traceOn {
+				nsp = sp.Child("node:"+n.Name,
+					obs.KV("kind", n.Op.Kind()), obs.KV("device", n.Device.String()))
+			}
 			start := time.Now()
 			out := n.Op.Execute(ins)
+			wall := time.Since(start)
+			if traceOn {
+				nsp.SetAttrs(obs.KVInt("out_bytes", out.Bytes()))
+				nsp.End()
+				obs.Observe("exec.node_wall_ns", float64(wall.Nanoseconds()))
+			}
 			if !out.Shape().Equal(n.OutShape) {
 				return nil, fmt.Errorf("runtime: node %q produced %v, inferred %v", n.Name, out.Shape(), n.OutShape)
 			}
@@ -87,7 +107,7 @@ func Execute(g *graph.Graph, feeds map[string]*tensor.Tensor) (*Result, error) {
 			}
 			res.Profile = append(res.Profile, NodeProfile{
 				Name: n.Name, Kind: n.Op.Kind(), Device: n.Device,
-				Wall: time.Since(start), OutBytes: out.Bytes(),
+				Wall: wall, OutBytes: out.Bytes(),
 			})
 			// Release inputs whose last consumer has run.
 			for _, in := range n.Inputs {

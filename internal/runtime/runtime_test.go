@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"unigpu/internal/graph"
+	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/runtime"
 	"unigpu/internal/tensor"
@@ -66,6 +67,104 @@ func TestExecuteInvalidGraph(t *testing.T) {
 	}
 }
 
+func TestPeakLiveRefCounted(t *testing.T) {
+	// A chain a -> b -> c of equally sized intermediates: naive liveness
+	// (every intermediate held to the end) would claim 3x the tensor size,
+	// but reference counting frees each one after its single consumer, so
+	// at most two are ever live together.
+	g := graph.New()
+	in := g.Input("data", 1, 256) // 1 KiB per intermediate
+	a := g.Apply("a", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	b := g.Apply("b", &graph.ActivationOp{Act: ops.ActReLU}, a)
+	c := g.Apply("c", &graph.ActivationOp{Act: ops.ActReLU}, b)
+	g.SetOutputs(c)
+
+	feed := tensor.New(1, 256)
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tensorBytes = 256 * 4
+	naive := 3 * tensorBytes
+	if res.PeakLive != 2*tensorBytes {
+		t.Fatalf("PeakLive = %d, want %d (naive liveness would say %d)",
+			res.PeakLive, 2*tensorBytes, naive)
+	}
+}
+
+func TestPeakLiveDiamond(t *testing.T) {
+	// A diamond: both branches are live simultaneously (plus the join),
+	// and the branch inputs are only freed once BOTH consumers have run.
+	g := graph.New()
+	in := g.Input("data", 1, 64) // 256 B per intermediate
+	top := g.Apply("top", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	l := g.Apply("l", &graph.ActivationOp{Act: ops.ActReLU}, top)
+	r := g.Apply("r", &graph.SigmoidOp{}, top)
+	join := g.Apply("join", &graph.AddOp{}, l, r)
+	g.SetOutputs(join)
+
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": tensor.New(1, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Executing join: top freed (after l and r both ran), but l, r and
+	// join's output coexist.
+	const tb = 64 * 4
+	if res.PeakLive != 3*tb {
+		t.Fatalf("PeakLive = %d, want %d", res.PeakLive, 3*tb)
+	}
+}
+
+func TestProfileDeviceAttribution(t *testing.T) {
+	// Placement with a forced CPU fallback inserts device_copy nodes; the
+	// execution profile must attribute every node (including the copies)
+	// to the device the placement pass chose.
+	g := graph.New()
+	in := g.Input("data", 1, 8)
+	a := g.Apply("a", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	s := g.Apply("s", &graph.SigmoidOp{}, a)
+	b := g.Apply("b", &graph.ActivationOp{Act: ops.ActReLU}, s)
+	g.SetOutputs(b)
+
+	copies := graph.PlaceDevices(g, graph.PlacementOptions{
+		FallbackKinds: map[string]bool{"sigmoid": true},
+	})
+	if copies != 2 {
+		t.Fatalf("copies inserted = %d, want 2 (GPU->CPU and CPU->GPU)", copies)
+	}
+
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": tensor.New(1, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]runtime.NodeProfile{}
+	for _, p := range res.Profile {
+		byName[p.Name] = p
+	}
+	wantDev := map[string]graph.DeviceClass{
+		"a":      graph.OnGPU,
+		"a_copy": graph.OnCPU, // copy runs on (is attributed to) its consumer's device
+		"s":      graph.OnCPU,
+		"s_copy": graph.OnGPU,
+		"b":      graph.OnGPU,
+	}
+	if len(byName) != len(wantDev) {
+		t.Fatalf("profile has %d entries, want %d: %v", len(byName), len(wantDev), res.Profile)
+	}
+	for name, want := range wantDev {
+		p, ok := byName[name]
+		if !ok {
+			t.Fatalf("profile missing node %q", name)
+		}
+		if p.Device != want {
+			t.Errorf("node %q attributed to %v, want %v", name, p.Device, want)
+		}
+	}
+	if byName["a_copy"].Kind != "device_copy" {
+		t.Errorf("a_copy kind = %q", byName["a_copy"].Kind)
+	}
+}
+
 func TestOutputsStayLiveDespitePlanning(t *testing.T) {
 	// An intermediate that is also a graph output must not be freed.
 	g := graph.New()
@@ -81,5 +180,51 @@ func TestOutputsStayLiveDespitePlanning(t *testing.T) {
 	}
 	if res.Outputs[0] == nil || res.Outputs[0].At(0, 0) != 1 {
 		t.Fatal("mid output should survive memory planning")
+	}
+}
+
+// buildChain makes an n-node elementwise chain for overhead benchmarks.
+func buildChain(n int) (*graph.Graph, map[string]*tensor.Tensor) {
+	g := graph.New()
+	cur := g.Input("data", 1, 64)
+	feed := tensor.New(1, 64)
+	for i := 0; i < n; i++ {
+		cur = g.Apply("n"+string(rune('a'+i%26))+string(rune('0'+i/26)),
+			&graph.ActivationOp{Act: ops.ActReLU}, cur)
+	}
+	g.SetOutputs(cur)
+	return g, map[string]*tensor.Tensor{"data": feed}
+}
+
+// BenchmarkExecuteObsDisabled is the default configuration: the no-op
+// exporter. Compare against BenchmarkExecuteObsEnabled to bound the
+// tracing overhead (the ISSUE-1 acceptance criterion).
+func BenchmarkExecuteObsDisabled(b *testing.B) {
+	g, feeds := buildChain(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runtime.Execute(g, feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteObsEnabled measures the same execution with live spans
+// and the exec.node_wall_ns histogram.
+func BenchmarkExecuteObsEnabled(b *testing.B) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	g, feeds := buildChain(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			obs.DefaultTracer.Reset() // bound span accumulation
+		}
+		if _, err := runtime.Execute(g, feeds); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

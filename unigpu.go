@@ -27,6 +27,7 @@ import (
 	"unigpu/internal/bench"
 	"unigpu/internal/graph"
 	"unigpu/internal/models"
+	"unigpu/internal/obs"
 	"unigpu/internal/runtime"
 	"unigpu/internal/sim"
 	"unigpu/internal/tensor"
@@ -102,8 +103,12 @@ type CompiledModel struct {
 	model *models.Model
 }
 
-// Compile builds, graph-optimizes, places, tunes and prices a model.
+// Compile builds, graph-optimizes, places, tunes and prices a model. The
+// whole compilation runs under a "compile" tracing span with child spans
+// per stage (graph passes, placement, schedule/layout tuning, pricing).
 func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*CompiledModel, error) {
+	sp := obs.Start("compile", obs.KV("model", name), obs.KV("platform", p.Name))
+	defer sp.End()
 	known := false
 	for _, n := range models.Names() {
 		if n == name {
@@ -121,7 +126,9 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 			size = 300 // Mali memory limitation (§4.2)
 		}
 	}
+	bsp := obs.Start("frontend.build", obs.KVInt("input_size", size))
 	m := models.Build(name, size, false)
+	bsp.End()
 	graph.Optimize(m.Graph)
 
 	cm := &CompiledModel{Name: name, Platform: p, model: m}
@@ -137,6 +144,7 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 	cm.NodesOnCPU = m.Graph.Summary().OnCPU
 
 	// Latency prediction on the simulated device.
+	psp := obs.Start("price", obs.KV("device", p.GPU.Name))
 	var convMs, transformMs float64
 	if opts.SkipTuning {
 		convMs = e.est.UntunedConvMs(m, p.GPU)
@@ -155,10 +163,13 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 	default:
 		visMs = bench.OptimizedVisionMs(m.Vision, p.GPU)
 	}
+	psp.End()
 	cm.ConvKernelMs = convMs
 	cm.TransformMs = transformMs
 	cm.VisionMs = visMs
 	cm.PredictedLatencyMs = convMs + transformMs + e.est.OtherOpsMs(m, p.GPU) + visMs
+	sp.SetAttrs(obs.KVFloat("predicted_ms", cm.PredictedLatencyMs),
+		obs.KVInt("copies", cm.CopiesInserted))
 	return cm, nil
 }
 
