@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value metric.
+type Gauge struct {
+	mu  sync.Mutex
+	v   float64
+	set bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v, g.set = v, true
+	g.mu.Unlock()
+}
+
+// Value reads the gauge; ok is false if it was never set.
+func (g *Gauge) Value() (v float64, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v, g.set
+}
+
+// histBuckets is the number of fixed exponential buckets. Bucket i counts
+// samples in (2^(i-1), 2^i]; bucket 0 counts samples <= 1; the last bucket
+// is the overflow. Powers of two span nanosecond timings to multi-second
+// wall clocks (2^62 ns) in one fixed layout.
+const histBuckets = 64
+
+// Histogram accumulates positive-ish samples into fixed exponential
+// power-of-two buckets.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   [histBuckets]int64
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.counts[bucketFor(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// bucketFor maps a sample to its bucket index: ceil(log2(v)), clamped.
+func bucketFor(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v)))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket upper bounds;
+// coarse (factor-of-two) but monotone and allocation-free.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			ub := math.Pow(2, float64(i))
+			if ub > h.max {
+				ub = h.max
+			}
+			if ub < h.min {
+				ub = h.min
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Registry holds named metrics. Lookups create on first use, so the
+// instrumented code never registers anything up front.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in place: existing Counter/Gauge/Histogram
+// handles held by instrumented code stay valid.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.mu.Lock()
+		g.v, g.set = 0, false
+		g.mu.Unlock()
+	}
+	for _, h := range r.hists {
+		h.mu.Lock()
+		h.counts = [histBuckets]int64{}
+		h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+		h.mu.Unlock()
+	}
+}
+
+// WriteText dumps every metric, one line each, sorted by name:
+//
+//	counter tune.trials 384
+//	gauge   tune.best_ms 0.1234
+//	hist    exec.node_wall_ns count=66 sum=1.2e+07 min=100 max=5e+06 p50=8192 p99=4.1e+06
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		if v, ok := g.Value(); ok {
+			lines = append(lines, fmt.Sprintf("gauge   %s %g", name, v))
+		}
+	}
+	for name, h := range r.hists {
+		lines = append(lines, fmt.Sprintf(
+			"hist    %s count=%d sum=%g min=%g max=%g p50=%g p99=%g",
+			name, h.Count(), h.Sum(), h.minV(), h.maxV(),
+			h.Quantile(0.50), h.Quantile(0.99)))
+	}
+	r.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool {
+		return lines[i][8:] < lines[j][8:] // order by name, not metric kind
+	})
+	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	return err
+}
+
+func (h *Histogram) minV() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) maxV() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// DumpMetrics renders the default registry as text.
+func DumpMetrics() string {
+	var b strings.Builder
+	DefaultRegistry.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,226 @@
+// Package obs is the observability layer of the stack: hierarchical
+// tracing spans and a metrics registry threaded through the whole pipeline
+// (graph passes, layout tuning, schedule search, codegen, execution), with
+// exporters for the Chrome trace-event format (chrome://tracing, Perfetto)
+// and a plain-text metrics dump.
+//
+// The layer is zero-dependency and off by default: Start returns a shared
+// no-op span until Enable is called, so instrumented hot paths pay only an
+// atomic load when tracing is disabled. Spans nest via an implicit
+// current-span stack:
+//
+//	sp := obs.Start("compile", obs.KV("model", name))
+//	defer sp.End()
+//
+// Concurrent goroutines that need correct parentage should derive children
+// explicitly with Span.Child; the implicit stack assumes the pipeline's
+// (sequential) call structure.
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// KV builds a string attribute.
+func KV(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// KVInt builds an integer attribute.
+func KVInt(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// KVFloat builds a float attribute.
+func KVFloat(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', 6, 64)}
+}
+
+// Span is one timed region of the pipeline. The zero span (returned while
+// tracing is disabled) is a no-op: End and SetAttrs do nothing.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	id     int64
+	name   string
+	attrs  []Attr
+	start  time.Time
+}
+
+// noopSpan is handed out while tracing is disabled.
+var noopSpan = &Span{}
+
+// SetAttrs appends attributes to the span (e.g. results known only at End).
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.tracer.mu.Unlock()
+}
+
+// Child starts a span explicitly parented under s, bypassing the implicit
+// stack; safe for concurrent producers.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s.tracer == nil {
+		return noopSpan
+	}
+	return s.tracer.startWithParent(s, name, attrs)
+}
+
+// End finishes the span and records it with the tracer.
+func (s *Span) End() {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.end(s)
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	ID       int64
+	ParentID int64 // 0 for root spans
+	Name     string
+	Attrs    []Attr
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Tracer collects finished spans while enabled.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	nextID  int64
+	current *Span // top of the implicit nesting stack
+	spans   []SpanRecord
+	epoch   time.Time
+}
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enable turns span collection on.
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = time.Now()
+	}
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable turns span collection off; already-collected spans are kept.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether spans are being collected.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Start begins a span nested under the tracer's current span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if !t.enabled.Load() {
+		return noopSpan
+	}
+	return t.startWithParent(nil, name, attrs)
+}
+
+// startWithParent creates a live span. A nil parent means "use the implicit
+// stack"; an explicit parent bypasses it (and does not alter the stack).
+func (t *Tracer) startWithParent(parent *Span, name string, attrs []Attr) *Span {
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tracer: t, id: t.nextID, name: name, attrs: attrs, start: time.Now()}
+	if parent != nil {
+		s.parent = parent
+	} else {
+		s.parent = t.current
+		t.current = s
+	}
+	t.mu.Unlock()
+	return s
+}
+
+func (t *Tracer) end(s *Span) {
+	dur := time.Since(s.start)
+	t.mu.Lock()
+	rec := SpanRecord{
+		ID: s.id, Name: s.name, Attrs: s.attrs,
+		Start: s.start, Duration: dur,
+	}
+	if s.parent != nil {
+		rec.ParentID = s.parent.id
+	}
+	t.spans = append(t.spans, rec)
+	// Pop the implicit stack. Out-of-order Ends (explicit children, or a
+	// span ended twice) leave the stack untouched.
+	if t.current == s {
+		t.current = s.parent
+	}
+	t.mu.Unlock()
+}
+
+// Records returns a snapshot of the finished spans.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Reset drops collected spans and restarts the trace clock; the enabled
+// state is preserved.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans = nil
+	t.current = nil
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}
+
+// Default globals --------------------------------------------------------
+
+// DefaultTracer and DefaultRegistry are what the package-level helpers and
+// the instrumented pipeline use.
+var (
+	DefaultTracer   = NewTracer()
+	DefaultRegistry = NewRegistry()
+)
+
+// Enable turns on the default tracer (and with it, hot-path metrics that
+// gate on Enabled).
+func Enable() { DefaultTracer.Enable() }
+
+// Disable turns off the default tracer.
+func Disable() { DefaultTracer.Disable() }
+
+// Enabled reports whether the default tracer is collecting.
+func Enabled() bool { return DefaultTracer.Enabled() }
+
+// Start begins a span on the default tracer.
+func Start(name string, attrs ...Attr) *Span { return DefaultTracer.Start(name, attrs...) }
+
+// Records snapshots the default tracer's finished spans.
+func Records() []SpanRecord { return DefaultTracer.Records() }
+
+// Count adds to a counter in the default registry.
+func Count(name string, delta int64) { DefaultRegistry.Counter(name).Add(delta) }
+
+// SetGauge sets a gauge in the default registry.
+func SetGauge(name string, v float64) { DefaultRegistry.Gauge(name).Set(v) }
+
+// Observe records a histogram sample in the default registry.
+func Observe(name string, v float64) { DefaultRegistry.Histogram(name).Observe(v) }
+
+// Reset clears the default tracer's spans and zeroes the default
+// registry's metrics (handles stay valid).
+func Reset() {
+	DefaultTracer.Reset()
+	DefaultRegistry.Reset()
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerIsNoop(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("root", KV("k", "v"))
+	if sp != noopSpan {
+		t.Fatal("disabled tracer must hand out the shared no-op span")
+	}
+	sp.SetAttrs(KVInt("n", 1)) // must not panic or record
+	sp.End()
+	if got := tr.Records(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable()
+	root := tr.Start("root")
+	child := tr.Start("child")
+	grand := tr.Start("grand")
+	grand.End()
+	child.End()
+	sib := tr.Start("sibling")
+	sib.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["root"].ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", byName["root"].ParentID)
+	}
+	if byName["child"].ParentID != byName["root"].ID {
+		t.Errorf("child parent = %d, want root %d", byName["child"].ParentID, byName["root"].ID)
+	}
+	if byName["grand"].ParentID != byName["child"].ID {
+		t.Errorf("grand parent = %d, want child %d", byName["grand"].ParentID, byName["child"].ID)
+	}
+	if byName["sibling"].ParentID != byName["root"].ID {
+		t.Errorf("sibling parent = %d, want root %d", byName["sibling"].ParentID, byName["root"].ID)
+	}
+}
+
+func TestExplicitChildConcurrent(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Child("worker")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	workers := 0
+	for _, r := range tr.Records() {
+		if r.Name == "worker" {
+			workers++
+			if r.ParentID != 1 {
+				t.Errorf("worker parent = %d, want root", r.ParentID)
+			}
+		}
+	}
+	if workers != 8 {
+		t.Fatalf("workers = %d, want 8", workers)
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Counter("a.count").Inc()
+	if v := r.Counter("a.count").Value(); v != 4 {
+		t.Fatalf("counter = %d, want 4", v)
+	}
+	r.Gauge("b.gauge").Set(2.5)
+	if v, ok := r.Gauge("b.gauge").Value(); !ok || v != 2.5 {
+		t.Fatalf("gauge = %v %v", v, ok)
+	}
+	h := r.Histogram("c.hist")
+	for _, v := range []float64{1, 100, 1000, 1e6} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1001101 {
+		t.Fatalf("hist count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0); q > 100 {
+		t.Errorf("p0 = %g, want near min", q)
+	}
+	if q := h.Quantile(0.99); q < 1000 {
+		t.Errorf("p99 = %g, want near max", q)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"counter a.count 4", "gauge   b.gauge 2.5", "hist    c.hist count=4"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q:\n%s", want, text)
+		}
+	}
+
+	// Reset keeps handles valid but zeroes values.
+	r.Reset()
+	if v := r.Counter("a.count").Value(); v != 0 {
+		t.Fatalf("counter after reset = %d", v)
+	}
+	if _, ok := r.Gauge("b.gauge").Value(); ok {
+		t.Fatal("gauge should be unset after reset")
+	}
+	if h.Count() != 0 {
+		t.Fatal("histogram handle should be zeroed in place")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {1024, 10}, {1e300, histBuckets - 1}}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable()
+	root := tr.Start("outer", KV("model", "m"))
+	time.Sleep(time.Millisecond)
+	in := tr.Start("inner")
+	in.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(parsed.TraceEvents))
+	}
+	outer, inner := parsed.TraceEvents[0], parsed.TraceEvents[1]
+	if outer.Name != "outer" || inner.Name != "inner" {
+		t.Fatalf("event order: %q then %q", outer.Name, inner.Name)
+	}
+	if outer.Ph != "X" {
+		t.Errorf("ph = %q, want X", outer.Ph)
+	}
+	if outer.Args["model"] != "m" {
+		t.Errorf("attr lost: %v", outer.Args)
+	}
+	if inner.Args["parent_id"] != outer.Args["span_id"] {
+		t.Errorf("inner parent %s != outer id %s", inner.Args["parent_id"], outer.Args["span_id"])
+	}
+	// Time containment, as a viewer would nest them.
+	if inner.Ts < outer.Ts || inner.Ts+inner.Dur > outer.Ts+outer.Dur+1e-3 {
+		t.Errorf("inner [%g,%g] not contained in outer [%g,%g]",
+			inner.Ts, inner.Ts+inner.Dur, outer.Ts, outer.Ts+outer.Dur)
+	}
+}
+
+// BenchmarkStartDisabled measures the disabled-tracing fast path the whole
+// pipeline pays when observability is off.
+func BenchmarkStartDisabled(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("node")
+		sp.End()
+	}
+}
+
+// BenchmarkStartEnabled is the cost of a live span, for comparison.
+func BenchmarkStartEnabled(b *testing.B) {
+	tr := NewTracer()
+	tr.Enable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("node")
+		sp.End()
+	}
+	b.StopTimer()
+	tr.Reset()
+}
