@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 
+	"unigpu/internal/autotvm"
 	"unigpu/internal/bench"
 	"unigpu/internal/obs"
 )
@@ -14,6 +15,8 @@ func main() {
 	log.SetFlags(0)
 	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,all")
 	jsonPath := flag.String("json", "", "also write Tables 1-3 results as machine-readable JSON to this file")
+	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule searches)")
+	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
 	flag.Parse()
@@ -22,6 +25,20 @@ func main() {
 		obs.Enable()
 	}
 	e := bench.NewEstimator()
+	e.Jobs = *jobs
+	if *dbPath != "" {
+		db, err := autotvm.OpenDB(*dbPath)
+		if err != nil {
+			log.Fatalf("open db: %v", err)
+		}
+		e.DB = db
+		defer func() {
+			if err := db.Save(); err != nil {
+				log.Fatalf("save db: %v", err)
+			}
+			log.Printf("tuning database %s holds %d records", *dbPath, db.Len())
+		}()
+	}
 	defer func() {
 		if *jsonPath != "" {
 			if err := bench.WritePerfJSONFile(*jsonPath, e.PerfRecords()); err != nil {

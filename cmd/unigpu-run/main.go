@@ -20,6 +20,8 @@ func main() {
 	size := flag.Int("size", 0, "square input size (0 = model default; small sizes run faster functionally)")
 	fallback := flag.Bool("fallback-nms", false, "place NMS on the companion CPU (§3.1.2)")
 	untuned := flag.Bool("untuned", false, "skip schedule tuning (Table 5's Before)")
+	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule search)")
+	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list models and platforms")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
@@ -49,7 +51,15 @@ func main() {
 		log.Fatalf("unknown device %q", *device)
 	}
 
-	eng := unigpu.NewEngine()
+	var db *unigpu.TuningDB
+	if *dbPath != "" {
+		var err error
+		db, err = unigpu.OpenTuningDB(*dbPath)
+		if err != nil {
+			log.Fatalf("open db: %v", err)
+		}
+	}
+	eng := unigpu.NewEngineWith(unigpu.EngineOptions{DB: db, Jobs: *jobs})
 	start := time.Now()
 	cm, err := eng.Compile(*model, platform, unigpu.CompileOptions{
 		InputSize:   *size,
@@ -58,6 +68,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if db != nil {
+		if err := eng.SaveTuning(); err != nil {
+			log.Fatalf("save db: %v", err)
+		}
+		fmt.Printf("tuning database %s holds %d records\n", *dbPath, db.Len())
 	}
 	fmt.Printf("compiled %s for %s in %v\n", cm.Name, platform.Name, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("predicted latency: %.2f ms (conv %.2f + layout %.2f + vision %.2f + elementwise)\n",

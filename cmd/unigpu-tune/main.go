@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"sync"
 
 	"unigpu/internal/autotvm"
 	"unigpu/internal/codegen"
@@ -25,6 +27,7 @@ func main() {
 	budget := flag.Int("budget", 128, "measurement budget per workload")
 	searcher := flag.String("search", "model", "search strategy: random | sa | model | grid")
 	dbPath := flag.String("db", "tuning_records.json", "tuning-records database path")
+	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
 	emit := flag.Bool("emit", false, "print the generated CUDA/OpenCL for the best schedule")
 	seed := flag.Int64("seed", 1, "search RNG seed")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
@@ -79,19 +82,47 @@ func main() {
 		log.Fatalf("unknown search strategy %q", *searcher)
 	}
 
-	for _, w := range workloads {
-		task := autotvm.Task{Workload: w, Device: platform.GPU}
-		if cached, ok := db.Lookup(task); ok {
-			log.Printf("%-55s cached  %8.3f ms  %v", w.Key(), cached.Ms, cached.Config)
+	// Tune workloads in parallel over a bounded worker pool; results print
+	// in workload order once everything has finished.
+	nWorkers := *jobs
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		res    autotvm.Result
+		def    float64
+		cached bool
+	}
+	results := make([]outcome, len(workloads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, nWorkers)
+	for i, w := range workloads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w ops.ConvWorkload) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			task := autotvm.Task{Workload: w, Device: platform.GPU}
+			if cached, ok := db.Lookup(task); ok && cached.Trials >= *budget {
+				results[i] = outcome{res: cached, cached: true}
+				return
+			}
+			def := templates.CostMs(w, templates.DeviceDefaultConfig(w, platform.GPU), platform.GPU)
+			res := search(task, autotvm.Options{Budget: *budget, Seed: *seed})
+			results[i] = outcome{res: db.StoreBest(task, res), def: def}
+		}(i, w)
+	}
+	wg.Wait()
+	for i, w := range workloads {
+		o := results[i]
+		if o.cached {
+			log.Printf("%-55s cached  %8.3f ms  %v", w.Key(), o.res.Ms, o.res.Config)
 			continue
 		}
-		def := templates.CostMs(w, templates.DeviceDefaultConfig(w, platform.GPU), platform.GPU)
-		res := search(task, autotvm.Options{Budget: *budget, Seed: *seed})
-		db.Store(task, res)
 		log.Printf("%-55s tuned   %8.3f ms  (default %8.3f ms, %.2fx, %d trials)  %v",
-			w.Key(), res.Ms, def, def/res.Ms, res.Trials, res.Config)
+			w.Key(), o.res.Ms, o.def, o.def/o.res.Ms, o.res.Trials, o.res.Config)
 		if *emit {
-			k := templates.Schedule(w, res.Config, platform.GPU)
+			k := templates.Schedule(w, o.res.Config, platform.GPU)
 			fmt.Println("--- CUDA ---")
 			fmt.Println(codegen.Emit(k, codegen.CUDA))
 			fmt.Println("--- OpenCL ---")

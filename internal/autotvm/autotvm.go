@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"unigpu/internal/obs"
 	"unigpu/internal/ops"
@@ -131,13 +132,14 @@ func simulatedAnnealing(t Task, opts Options) Result {
 	opts.normalize()
 	space := templates.ConfigSpace(t.Workload, t.Device)
 	rng := rand.New(rand.NewSource(opts.Seed))
+	nbr := newNeighbourIndex(space)
 
 	cur := space[rng.Intn(len(space))]
 	curMs := opts.Measure(t, cur)
 	best := Result{Config: cur, Ms: curMs, Trials: 1}
 	temp := curMs // initial temperature on the scale of the objective
 	for i := 1; i < opts.Budget; i++ {
-		cand := mutate(cur, space, rng)
+		cand := nbr.mutate(cur, rng)
 		ms := opts.Measure(t, cand)
 		best.Trials++
 		if ms < best.Ms {
@@ -152,19 +154,69 @@ func simulatedAnnealing(t Task, opts Options) Result {
 	return best
 }
 
-// mutate picks a random neighbour: a config from the space sharing all but
-// one knob with cur when possible, else a random point.
-func mutate(cur templates.Config, space []templates.Config, rng *rand.Rand) templates.Config {
-	neighbours := make([]templates.Config, 0, 16)
-	for _, c := range space {
-		if diffKnobs(c, cur) == 1 {
-			neighbours = append(neighbours, c)
+// knobCount is the number of tunable knobs in templates.Config.
+const knobCount = 7
+
+// neighbourIndex answers "which configs differ from cur in exactly one
+// knob" without rescanning the space on every SA step (previously
+// O(budget × |space|) per search). It is built once per search in
+// O(knobCount × |space|): for each knob k, configs are grouped by their
+// signature with knob k wildcarded, so two configs share a group iff they
+// agree on every other knob. A config's one-knob neighbours are then the
+// union of its k-groups minus itself, each neighbour appearing in exactly
+// one group (the group of the knob it differs in).
+type neighbourIndex struct {
+	space  []templates.Config
+	groups [knobCount]map[string][]int
+}
+
+func newNeighbourIndex(space []templates.Config) *neighbourIndex {
+	ni := &neighbourIndex{space: space}
+	for k := 0; k < knobCount; k++ {
+		ni.groups[k] = make(map[string][]int, len(space))
+		for i, c := range space {
+			sig := wildcardSig(c, k)
+			ni.groups[k][sig] = append(ni.groups[k][sig], i)
 		}
 	}
-	if len(neighbours) == 0 {
-		return space[rng.Intn(len(space))]
+	return ni
+}
+
+// wildcardSig renders c with knob k replaced by a wildcard.
+func wildcardSig(c templates.Config, k int) string {
+	knobs := [knobCount]string{
+		strconv.Itoa(c.TileCo), strconv.Itoa(c.TileH), strconv.Itoa(c.TileW),
+		strconv.Itoa(c.VecW), strconv.Itoa(c.TileK),
+		strconv.FormatBool(c.UnrollKernel), strconv.FormatBool(c.UseSubgroup),
 	}
-	return neighbours[rng.Intn(len(neighbours))]
+	knobs[k] = "*"
+	return knobs[0] + "|" + knobs[1] + "|" + knobs[2] + "|" + knobs[3] + "|" +
+		knobs[4] + "|" + knobs[5] + "|" + knobs[6]
+}
+
+// neighbours returns the space indices one knob away from cur, in space
+// order (matching what a linear diffKnobs scan would produce).
+func (ni *neighbourIndex) neighbours(cur templates.Config) []int {
+	var out []int
+	for k := 0; k < knobCount; k++ {
+		for _, i := range ni.groups[k][wildcardSig(cur, k)] {
+			if ni.space[i] != cur {
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mutate picks a random neighbour: a config from the space sharing all but
+// one knob with cur when possible, else a random point.
+func (ni *neighbourIndex) mutate(cur templates.Config, rng *rand.Rand) templates.Config {
+	nbrs := ni.neighbours(cur)
+	if len(nbrs) == 0 {
+		return ni.space[rng.Intn(len(ni.space))]
+	}
+	return ni.space[nbrs[rng.Intn(len(nbrs))]]
 }
 
 func diffKnobs(a, b templates.Config) int {
@@ -205,6 +257,7 @@ func modelGuidedSearch(t Task, opts Options) Result {
 	opts.normalize()
 	space := templates.ConfigSpace(t.Workload, t.Device)
 	rng := rand.New(rand.NewSource(opts.Seed))
+	nbr := newNeighbourIndex(space)
 
 	type sample struct {
 		cfg templates.Config
@@ -228,9 +281,15 @@ func modelGuidedSearch(t Task, opts Options) Result {
 		}
 	}
 
+	// Seed the model with seedN *unique* measured configs: drawing with
+	// replacement silently shrank the seed batch whenever the RNG repeated
+	// itself.
 	seedN := min(opts.Budget/4+1, len(space))
-	for i := 0; i < seedN; i++ {
-		measure(space[rng.Intn(len(space))])
+	for _, idx := range rng.Perm(len(space)) {
+		if best.Trials >= seedN {
+			break
+		}
+		measure(space[idx])
 	}
 
 	const batch = 8
@@ -249,7 +308,7 @@ func modelGuidedSearch(t Task, opts Options) Result {
 			pool = append(pool, space[rng.Intn(len(space))])
 		}
 		for i := 0; i < 64; i++ {
-			pool = append(pool, mutate(best.Config, space, rng))
+			pool = append(pool, nbr.mutate(best.Config, rng))
 		}
 		sort.SliceStable(pool, func(i, j int) bool {
 			return model.Predict(Features(t.Workload, pool[i])) < model.Predict(Features(t.Workload, pool[j]))

@@ -190,3 +190,47 @@ func TestFeaturesShapeStable(t *testing.T) {
 		t.Fatal("feature vectors must have a fixed length")
 	}
 }
+
+func TestNeighbourIndexMatchesBruteForce(t *testing.T) {
+	space := templates.ConfigSpace(testWorkload, sim.MaxwellNano)
+	ni := newNeighbourIndex(space)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		cur := space[rng.Intn(len(space))]
+		var want []int
+		for j, c := range space {
+			if diffKnobs(c, cur) == 1 {
+				want = append(want, j)
+			}
+		}
+		got := ni.neighbours(cur)
+		if len(got) != len(want) {
+			t.Fatalf("config %v: %d neighbours via index, %d via scan", cur, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("config %v: neighbour lists diverge at %d: %d vs %d", cur, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSeedBatchMeasuresUniqueConfigs(t *testing.T) {
+	// With a budget of 4x the space, the seed phase wants the whole space;
+	// drawing with replacement used to shrink it silently. Now every
+	// unique config must be measured exactly once.
+	small := Task{
+		Workload: ops.ConvWorkload{N: 1, CIn: 16, H: 14, W: 14, COut: 16, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		Device: sim.MaliT860,
+	}
+	space := templates.ConfigSpace(small.Workload, small.Device)
+	unique := map[string]bool{}
+	for _, c := range space {
+		unique[c.String()] = true
+	}
+	res := ModelGuidedSearch(small, Options{Budget: 4 * len(space), Seed: 1})
+	if res.Trials != len(unique) {
+		t.Fatalf("seed phase measured %d configs, want all %d unique configs", res.Trials, len(unique))
+	}
+}

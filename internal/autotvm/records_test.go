@@ -1,0 +1,190 @@
+package autotvm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"unigpu/internal/templates"
+)
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.json")
+	db := NewDB(path)
+	db.Store(testTask(), Result{Config: templates.DefaultConfig(), Ms: 1, Trials: 4})
+	for i := 0; i < 3; i++ { // repeated saves reuse the rename path
+		if err := db.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "records.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("expected only records.json after Save, got %v", names)
+	}
+}
+
+func TestOpenDBCorruptFileIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.json")
+	if err := os.WriteFile(path, []byte(`{"this is": "not a record array"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDB(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt file must produce a clear error, got %v", err)
+	}
+}
+
+func TestOpenDBTruncatedFileIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.json")
+	db := NewDB(path)
+	db.Store(testTask(), Result{Config: templates.DefaultConfig(), Ms: 1, Trials: 4})
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDB(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("truncated file must produce a clear error, got %v", err)
+	}
+}
+
+func TestTuneReSearchesOnBiggerBudget(t *testing.T) {
+	db := NewDB("")
+	task := testTask()
+	calls := 0
+	counting := func(tk Task, cfg templates.Config) float64 {
+		calls++
+		return SimMeasurer(tk, cfg)
+	}
+	first := Tune(task, Options{Budget: 8, Seed: 1, Measure: counting}, db)
+	afterFirst := calls
+	second := Tune(task, Options{Budget: 32, Seed: 1, Measure: counting}, db)
+	if calls == afterFirst {
+		t.Fatal("a bigger budget must re-search, not return the shallow cached record")
+	}
+	if second.Ms > first.Ms {
+		t.Fatalf("re-search returned %.6f ms, worse than the cached %.6f ms", second.Ms, first.Ms)
+	}
+	afterSecond := calls
+	if third := Tune(task, Options{Budget: 32, Seed: 1, Measure: counting}, db); calls != afterSecond {
+		t.Fatal("an equal budget must now be served from the database")
+	} else if third.Config != second.Config {
+		t.Fatal("cached result must match the deep search")
+	}
+	// Shallower requests keep hitting too.
+	if Tune(task, Options{Budget: 8, Seed: 1, Measure: counting}, db); calls != afterSecond {
+		t.Fatal("a smaller budget must be served from the database")
+	}
+}
+
+func TestTuneKeepsFasterEarlierResult(t *testing.T) {
+	db := NewDB("")
+	task := testTask()
+	// A record faster than anything the cost model can produce, from a
+	// 1-trial "search": the budget upgrade must re-search but never
+	// overwrite the faster result.
+	fast := Result{Config: templates.DefaultConfig(), Ms: 1e-12, Trials: 1}
+	db.Store(task, fast)
+	res := Tune(task, Options{Budget: 16, Seed: 1}, db)
+	if res.Ms != fast.Ms || res.Config != fast.Config {
+		t.Fatalf("faster earlier record must be kept, got %.6g ms %v", res.Ms, res.Config)
+	}
+	// The re-search effort is remembered, so the next call at this budget
+	// does not search again.
+	calls := 0
+	counting := func(tk Task, cfg templates.Config) float64 {
+		calls++
+		return SimMeasurer(tk, cfg)
+	}
+	Tune(task, Options{Budget: 16, Seed: 1, Measure: counting}, db)
+	if calls != 0 {
+		t.Fatalf("budget already spent must not be re-spent, ran %d measurements", calls)
+	}
+}
+
+func TestCandidateRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.json")
+	db := NewDB(path)
+	cands := []StoredCandidate{
+		{Block: 1, Config: templates.Config{TileCo: 1, TileH: 1, TileW: 4, VecW: 1, TileK: 1}, KernelMs: 0.75},
+		{Block: 4, Config: templates.Config{TileCo: 4, TileH: 2, TileW: 8, VecW: 4, TileK: 2, UnrollKernel: true}, KernelMs: 0.25},
+	}
+	db.StoreCandidates("dev", "wl", 48, cands)
+
+	got, ok := db.LookupCandidates("dev", "wl", 48)
+	if !ok || !reflect.DeepEqual(got, cands) {
+		t.Fatalf("lookup = %+v ok=%v", got, ok)
+	}
+	if _, ok := db.LookupCandidates("dev", "wl", 64); ok {
+		t.Fatal("a deeper-budget request must miss a shallow candidate set")
+	}
+	if _, ok := db.LookupCandidates("otherdev", "wl", 48); ok {
+		t.Fatal("different device must miss")
+	}
+
+	// A shallower set never downgrades a deeper one.
+	db.StoreCandidates("dev", "wl", 16, cands[:1])
+	if got, ok := db.LookupCandidates("dev", "wl", 48); !ok || len(got) != 2 {
+		t.Fatal("shallow StoreCandidates must not replace the deeper set")
+	}
+
+	// Candidate sets and single schedule records share a workload without
+	// clobbering each other.
+	task := testTask()
+	db.StoreCandidates("dev", task.Workload.Key(), 8, cands)
+	db.Store(task, Result{Config: cands[1].Config, Ms: 0.25, Trials: 8})
+	if _, ok := db.Lookup(task); !ok {
+		t.Fatal("single record lost after StoreCandidates on the same workload")
+	}
+
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("reloaded %d records, want %d", db2.Len(), db.Len())
+	}
+	got, ok = db2.LookupCandidates("dev", "wl", 48)
+	if !ok || !reflect.DeepEqual(got, cands) {
+		t.Fatalf("candidates did not survive the disk round-trip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestStoreBestConcurrent(t *testing.T) {
+	db := NewDB("")
+	task := testTask()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				db.StoreBest(task, Result{Config: templates.DefaultConfig(),
+					Ms: float64(1+(g+i)%7) * 0.5, Trials: i})
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	r, ok := db.Lookup(task)
+	if !ok || r.Ms != 0.5 {
+		t.Fatalf("best result must survive concurrent stores, got %.3f ok=%v", r.Ms, ok)
+	}
+}

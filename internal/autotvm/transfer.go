@@ -39,7 +39,8 @@ func TransferSearch(t Task, opts Options, db *DB) Result {
 		db.mu.Lock()
 		var priors []StoredRecord
 		for _, r := range db.records {
-			if r.Device == t.Device.Name {
+			// Candidate-set records carry no single (config, ms) sample.
+			if r.Device == t.Device.Name && r.Kind == "" {
 				priors = append(priors, r)
 			}
 		}
@@ -57,6 +58,7 @@ func TransferSearch(t Task, opts Options, db *DB) Result {
 
 	space := templates.ConfigSpace(t.Workload, t.Device)
 	rng := rand.New(rand.NewSource(opts.Seed))
+	nbr := newNeighbourIndex(space)
 	best := Result{Ms: math.Inf(1)}
 	measured := map[string]bool{}
 	measure := func(cfg templates.Config) {
@@ -92,7 +94,7 @@ func TransferSearch(t Task, opts Options, db *DB) Result {
 		}
 		if best.Trials > 0 {
 			for i := 0; i < 32; i++ {
-				pool = append(pool, mutate(best.Config, space, rng))
+				pool = append(pool, nbr.mutate(best.Config, rng))
 			}
 		}
 		sort.SliceStable(pool, func(i, j int) bool {

@@ -6,8 +6,10 @@
 package bench
 
 import (
+	"runtime"
 	"sync"
 
+	"unigpu/internal/autotvm"
 	"unigpu/internal/graph"
 	"unigpu/internal/graphtuner"
 	"unigpu/internal/models"
@@ -19,20 +21,46 @@ import (
 )
 
 // Estimator prices models on platforms, caching tuning results per
-// (device, workload) the way the paper's tuning database does.
+// (device, workload) the way the paper's tuning database does. With a DB
+// attached the cache is persistent: searches consult the database first
+// and store their winners, so a warm database makes a cold process's
+// first compilation near-instant.
 type Estimator struct {
 	Budget int   // per-layout search budget
 	Seed   int64 // deterministic searches
+	// Jobs bounds the worker pool tuning a model's conv workloads in
+	// parallel; 0 means GOMAXPROCS. Set before the first search.
+	Jobs int
+	// DB is the optional persistent tuning-records database (§3.2.3). Set
+	// before the first search; nil keeps the cache in-memory only.
+	DB *autotvm.DB
 
 	mu     sync.Mutex
-	cands  map[string][]graphtuner.Candidate
+	cands  map[string]*candEntry
 	graphs map[string]*models.Model
+}
+
+// candEntry is one singleflight slot of the candidates cache: the first
+// goroutine to claim a key runs the search inside once; concurrent
+// requests for the same (device, workload) block on it instead of
+// duplicating the search.
+type candEntry struct {
+	once  sync.Once
+	cands []graphtuner.Candidate
 }
 
 // NewEstimator returns an estimator with the default search budget.
 func NewEstimator() *Estimator {
 	return &Estimator{Budget: 48, Seed: 1,
-		cands: map[string][]graphtuner.Candidate{}, graphs: map[string]*models.Model{}}
+		cands: map[string]*candEntry{}, graphs: map[string]*models.Model{}}
+}
+
+// jobs resolves the tuning worker-pool size.
+func (e *Estimator) jobs() int {
+	if e.Jobs > 0 {
+		return e.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Model returns the (lite, graph-optimized) model for pricing, cached.
@@ -68,31 +96,84 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
-// candidates tunes one workload per candidate layout, cached per device.
-func (e *Estimator) candidates(w ops.ConvWorkload, d *sim.Device) []graphtuner.Candidate {
+// candidates tunes one workload per candidate layout, cached per device
+// with singleflight semantics: concurrent callers of the same key share
+// one search. With a DB attached, the database is consulted before
+// searching and the winners stored after.
+func (e *Estimator) candidates(w ops.ConvWorkload, d *sim.Device, parent *obs.Span) []graphtuner.Candidate {
 	key := d.Name + "|" + w.Key()
 	e.mu.Lock()
-	if c, ok := e.cands[key]; ok {
-		e.mu.Unlock()
-		return c
+	ent, ok := e.cands[key]
+	if !ok {
+		ent = &candEntry{}
+		e.cands[key] = ent
 	}
 	e.mu.Unlock()
-	c := graphtuner.CandidatesFor(w, d, e.Budget, e.Seed)
-	e.mu.Lock()
-	e.cands[key] = c
-	e.mu.Unlock()
-	return c
+	ent.once.Do(func() {
+		if e.DB != nil {
+			if stored, ok := e.DB.LookupCandidates(d.Name, w.Key(), e.Budget); ok {
+				ent.cands = candidatesFromStored(stored)
+				obs.Count("tune.db_hits", 1)
+				return
+			}
+		}
+		ent.cands = graphtuner.CandidatesForUnder(parent, w, d, e.Budget, e.Seed)
+		if e.DB != nil {
+			e.DB.StoreCandidates(d.Name, w.Key(), e.Budget, candidatesToStored(ent.cands))
+		}
+	})
+	return ent.cands
+}
+
+// candidatesFromStored / candidatesToStored round-trip graph-tuner
+// candidate sets through the records database.
+func candidatesFromStored(stored []autotvm.StoredCandidate) []graphtuner.Candidate {
+	out := make([]graphtuner.Candidate, len(stored))
+	for i, s := range stored {
+		out[i] = graphtuner.Candidate{Block: s.Block, Config: s.Config, KernelMs: s.KernelMs}
+	}
+	return out
+}
+
+func candidatesToStored(cands []graphtuner.Candidate) []autotvm.StoredCandidate {
+	out := make([]autotvm.StoredCandidate, len(cands))
+	for i, c := range cands {
+		out[i] = autotvm.StoredCandidate{Block: c.Block, Config: c.Config, KernelMs: c.KernelMs}
+	}
+	return out
 }
 
 // TunedConvMs runs the graph tuner's DP over the model's conv sequence and
-// returns total kernel+transform milliseconds.
+// returns total kernel+transform milliseconds. Per-workload candidate
+// generation fans out over a bounded worker pool (Jobs workers); the
+// singleflight cache deduplicates repeated workloads, and the layout DP
+// stays sequential (it is cheap and order-dependent).
 func (e *Estimator) TunedConvMs(m *models.Model, d *sim.Device) graphtuner.Plan {
 	sp := obs.Start("tune.conv_plan",
 		obs.KVInt("convs", len(m.Convs)), obs.KV("device", d.Name))
 	defer sp.End()
 	cands := make([][]graphtuner.Candidate, len(m.Convs))
-	for i, w := range m.Convs {
-		cands[i] = e.candidates(w, d)
+	jobs := e.jobs()
+	if jobs > len(m.Convs) {
+		jobs = len(m.Convs)
+	}
+	if jobs <= 1 {
+		for i, w := range m.Convs {
+			cands[i] = e.candidates(w, d, sp)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, jobs)
+		for i, w := range m.Convs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, w ops.ConvWorkload) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				cands[i] = e.candidates(w, d, sp)
+			}(i, w)
+		}
+		wg.Wait()
 	}
 	plan := graphtuner.Optimize(m.Convs, cands, d)
 	sp.SetAttrs(obs.KVFloat("total_ms", plan.TotalMs))

@@ -191,11 +191,20 @@ func evalBinary(v *ir.Binary, a, b float64) float64 {
 		return a * b
 	case ir.OpDiv:
 		if isInt {
+			if int(b) == 0 {
+				panic(fmt.Sprintf("integer division by zero: %v / %v", v.A, v.B))
+			}
 			return float64(int(a) / int(b)) // truncating, like C and Go
 		}
 		return a / b
 	case ir.OpMod:
-		return float64(int(a) % int(b))
+		if isInt {
+			if int(b) == 0 {
+				panic(fmt.Sprintf("integer modulo by zero: %v %% %v", v.A, v.B))
+			}
+			return float64(int(a) % int(b))
+		}
+		return math.Mod(a, b)
 	case ir.OpMin:
 		return math.Min(a, b)
 	case ir.OpMax:

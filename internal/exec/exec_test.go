@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -184,5 +185,42 @@ func TestGPUAxisKindsIterateSequentially(t *testing.T) {
 		if v != 1 {
 			t.Fatalf("thread (%d) did not execute", i)
 		}
+	}
+}
+
+func TestFloatModUsesMathMod(t *testing.T) {
+	// 7.5 mod 2 = 1.5; the old int(a)%int(b) silently truncated to 1.
+	e := &ir.Binary{Op: ir.OpMod, A: &ir.FloatImm{Value: 7.5}, B: &ir.FloatImm{Value: 2}}
+	if got := evalBinary(e, 7.5, 2); got != math.Mod(7.5, 2) {
+		t.Fatalf("float mod = %v, want %v", got, math.Mod(7.5, 2))
+	}
+	// Negative operands follow math.Mod (sign of the dividend).
+	if got := evalBinary(e, -7.5, 2); got != math.Mod(-7.5, 2) {
+		t.Fatalf("float mod = %v, want %v", got, math.Mod(-7.5, 2))
+	}
+}
+
+func TestIntModStaysTruncating(t *testing.T) {
+	e := &ir.Binary{Op: ir.OpMod, A: &ir.Var{Name: "a", Type: ir.Int32}, B: &ir.Var{Name: "b", Type: ir.Int32}}
+	if got := evalBinary(e, 7, 2); got != 1 {
+		t.Fatalf("int mod = %v, want 1", got)
+	}
+}
+
+func TestIntDivisionByZeroPanicMessage(t *testing.T) {
+	for _, op := range []ir.BinOp{ir.OpDiv, ir.OpMod} {
+		e := &ir.Binary{Op: op, A: &ir.Var{Name: "a", Type: ir.Int32}, B: &ir.Var{Name: "b", Type: ir.Int32}}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%v by zero must panic", op)
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "by zero") {
+					t.Fatalf("%v by zero panic %q should name the cause, not be a raw runtime error", op, msg)
+				}
+			}()
+			evalBinary(e, 1, 0)
+		}()
 	}
 }

@@ -11,6 +11,8 @@ package graphtuner
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"unigpu/internal/obs"
 	"unigpu/internal/ops"
@@ -33,57 +35,84 @@ var LayoutBlocks = []int{1, 2, 4, 8, 16, 32}
 // block, so the candidate's kernel time reflects operating natively in
 // that layout.
 func CandidatesFor(w ops.ConvWorkload, d *sim.Device, budget int, seed int64) []Candidate {
-	sp := obs.Start("graphtuner.candidates",
-		obs.KV("workload", w.Key()), obs.KV("device", d.Name))
+	return CandidatesForUnder(nil, w, d, budget, seed)
+}
+
+// CandidatesForUnder is CandidatesFor with an explicit parent span, for
+// callers running several searches concurrently (the implicit span stack
+// assumes sequential calls). The per-layout searches themselves run
+// concurrently — each layout has an independent restricted space and its
+// own deterministic RNG (seed + block), so the result is identical to the
+// sequential search.
+func CandidatesForUnder(parent *obs.Span, w ops.ConvWorkload, d *sim.Device, budget int, seed int64) []Candidate {
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Child("graphtuner.candidates",
+			obs.KV("workload", w.Key()), obs.KV("device", d.Name))
+	} else {
+		sp = obs.Start("graphtuner.candidates",
+			obs.KV("workload", w.Key()), obs.KV("device", d.Name))
+	}
 	defer sp.End()
 	space := templates.ConfigSpace(w, d)
-	var out []Candidate
-	measured := 0
-	for _, b := range LayoutBlocks {
+	results := make([]*Candidate, len(LayoutBlocks))
+	var measured atomic.Int64
+	var wg sync.WaitGroup
+	for bi, b := range LayoutBlocks {
 		if b > w.COut {
 			continue
 		}
-		lsp := sp.Child("graphtuner.layout", obs.KVInt("block", b))
-		// A schedule is compatible with layout NCHW[b]c when its output-
-		// channel tile is a multiple of the block, so the kernel writes
-		// whole blocks.
-		var restricted []templates.Config
-		for _, c := range space {
-			if c.TileCo%b == 0 {
-				restricted = append(restricted, c)
-			}
-		}
-		if len(restricted) == 0 {
-			lsp.End()
-			continue
-		}
-		rng := rand.New(rand.NewSource(seed + int64(b)))
-		best := Candidate{Block: b, KernelMs: math.Inf(1)}
-		trials := budget
-		if trials >= len(restricted) {
-			trials = len(restricted) // grid when affordable
-			for _, c := range restricted {
-				if ms := templates.CostMs(w, c, d); ms < best.KernelMs {
-					best.KernelMs = ms
-					best.Config = c
+		wg.Add(1)
+		go func(bi, b int) {
+			defer wg.Done()
+			lsp := sp.Child("graphtuner.layout", obs.KVInt("block", b))
+			defer lsp.End()
+			// A schedule is compatible with layout NCHW[b]c when its output-
+			// channel tile is a multiple of the block, so the kernel writes
+			// whole blocks.
+			var restricted []templates.Config
+			for _, c := range space {
+				if c.TileCo%b == 0 {
+					restricted = append(restricted, c)
 				}
 			}
-		} else {
-			for i := 0; i < trials; i++ {
-				c := restricted[rng.Intn(len(restricted))]
-				if ms := templates.CostMs(w, c, d); ms < best.KernelMs {
-					best.KernelMs = ms
-					best.Config = c
+			if len(restricted) == 0 {
+				return
+			}
+			rng := rand.New(rand.NewSource(seed + int64(b)))
+			best := Candidate{Block: b, KernelMs: math.Inf(1)}
+			trials := budget
+			if trials >= len(restricted) {
+				trials = len(restricted) // grid when affordable
+				for _, c := range restricted {
+					if ms := templates.CostMs(w, c, d); ms < best.KernelMs {
+						best.KernelMs = ms
+						best.Config = c
+					}
+				}
+			} else {
+				for i := 0; i < trials; i++ {
+					c := restricted[rng.Intn(len(restricted))]
+					if ms := templates.CostMs(w, c, d); ms < best.KernelMs {
+						best.KernelMs = ms
+						best.Config = c
+					}
 				}
 			}
-		}
-		measured += trials
-		lsp.SetAttrs(obs.KVInt("trials", trials), obs.KVFloat("best_ms", best.KernelMs))
-		lsp.End()
-		out = append(out, best)
+			measured.Add(int64(trials))
+			lsp.SetAttrs(obs.KVInt("trials", trials), obs.KVFloat("best_ms", best.KernelMs))
+			results[bi] = &best
+		}(bi, b)
 	}
-	obs.Count("tune.trials", int64(measured))
-	sp.SetAttrs(obs.KVInt("trials", measured), obs.KVInt("layouts", len(out)))
+	wg.Wait()
+	out := make([]Candidate, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	obs.Count("tune.trials", measured.Load())
+	sp.SetAttrs(obs.KVInt("trials", int(measured.Load())), obs.KVInt("layouts", len(out)))
 	return out
 }
 

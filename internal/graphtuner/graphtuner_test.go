@@ -2,6 +2,7 @@ package graphtuner
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"unigpu/internal/ops"
@@ -118,5 +119,18 @@ func TestEmptySequence(t *testing.T) {
 	plan := Optimize(nil, nil, sim.MaxwellNano)
 	if plan.TotalMs != 0 || len(plan.Choices) != 0 {
 		t.Fatal("empty sequence should yield an empty plan")
+	}
+}
+
+func TestCandidatesForConcurrentlyDeterministic(t *testing.T) {
+	// The per-layout searches run concurrently but each has its own
+	// deterministic RNG, so repeated runs must agree exactly, in order.
+	w := conv(32, 28, 64, 3, 1, 1)
+	want := CandidatesFor(w, sim.MaxwellNano, 16, 1)
+	for i := 0; i < 5; i++ {
+		got := CandidatesFor(w, sim.MaxwellNano, 16, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d diverged:\n got %+v\nwant %+v", i, got, want)
+		}
 	}
 }

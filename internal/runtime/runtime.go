@@ -120,6 +120,14 @@ func Execute(g *graph.Graph, feeds map[string]*tensor.Tensor) (*Result, error) {
 					delete(values, in)
 				}
 			}
+			// A node with no consumers that is not a graph output dies
+			// immediately (dead branches the passes keep for profiling);
+			// without this its buffer stayed live to the end of the run and
+			// inflated live/PeakLive.
+			if refs[n] == 0 {
+				live -= out.Bytes()
+				delete(values, n)
+			}
 		}
 	}
 

@@ -228,3 +228,26 @@ func BenchmarkExecuteObsEnabled(b *testing.B) {
 		}
 	}
 }
+
+func TestPeakLiveDeadBranchFreed(t *testing.T) {
+	// A node with zero consumers that is not a graph output must be freed
+	// immediately after it runs; it used to stay live to the end of the
+	// run and inflate PeakLive.
+	g := graph.New()
+	in := g.Input("data", 1, 256)
+	a := g.Apply("a", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	g.Apply("dead", &graph.SigmoidOp{}, a) // no consumers, not an output
+	b := g.Apply("b", &graph.ActivationOp{Act: ops.ActReLU}, a)
+	c := g.Apply("c", &graph.ActivationOp{Act: ops.ActReLU}, b)
+	g.SetOutputs(c)
+
+	res, err := runtime.Execute(g, map[string]*tensor.Tensor{"data": tensor.New(1, 256)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst coexistence: {a, dead} or {a, b} or {b, c} — never three.
+	const tb = 256 * 4
+	if res.PeakLive != 2*tb {
+		t.Fatalf("PeakLive = %d, want %d (dead branch must be freed immediately)", res.PeakLive, 2*tb)
+	}
+}

@@ -1,0 +1,93 @@
+package unigpu
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"unigpu/internal/obs"
+)
+
+func tuneTrials() int64 { return obs.DefaultRegistry.Counter("tune.trials").Value() }
+
+// TestConcurrentCompileSharedEngineAndDB compiles the same model
+// concurrently on two platforms through one shared Engine and tuning
+// database — the singleflight cache and the DB's locking must keep this
+// race-free (run under -race) and deterministic.
+func TestConcurrentCompileSharedEngineAndDB(t *testing.T) {
+	db := NewTuningDB("")
+	eng := NewEngineWith(EngineOptions{DB: db, Budget: 8, Jobs: 4})
+	platforms := []*Platform{DeepLens, JetsonNano}
+
+	const perPlatform = 2
+	results := make([][]float64, len(platforms))
+	var wg sync.WaitGroup
+	for pi, p := range platforms {
+		results[pi] = make([]float64, perPlatform)
+		for r := 0; r < perPlatform; r++ {
+			wg.Add(1)
+			go func(pi, r int, p *Platform) {
+				defer wg.Done()
+				cm, err := eng.Compile("SqueezeNet1.0", p, CompileOptions{})
+				if err != nil {
+					t.Errorf("compile on %s: %v", p.Name, err)
+					return
+				}
+				results[pi][r] = cm.PredictedLatencyMs
+			}(pi, r, p)
+		}
+	}
+	wg.Wait()
+	for pi, p := range platforms {
+		for r := 1; r < perPlatform; r++ {
+			if results[pi][r] != results[pi][0] {
+				t.Fatalf("%s: concurrent compiles disagree: %v", p.Name, results[pi])
+			}
+		}
+	}
+	if db.Len() == 0 {
+		t.Fatal("compilation must store tuning winners in the database")
+	}
+}
+
+// TestWarmDBCompileSkipsSearch checks determinism across the cache
+// boundary: a fresh engine warmed from the persisted database must
+// reproduce the cold engine's plan exactly, running zero tuning trials.
+func TestWarmDBCompileSkipsSearch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.json")
+	db, err := OpenTuningDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewEngineWith(EngineOptions{DB: db, Budget: 8})
+	cm1, err := cold.Compile("SqueezeNet1.0", JetsonNano, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.SaveTuning(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenTuningDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() == 0 {
+		t.Fatal("saved database must not be empty")
+	}
+	warm := NewEngineWith(EngineOptions{DB: db2, Budget: 8})
+	before := tuneTrials()
+	cm2, err := warm.Compile("SqueezeNet1.0", JetsonNano, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tuneTrials() - before; got != 0 {
+		t.Fatalf("warm compile ran %d tuning trials, want 0", got)
+	}
+	if cm1.PredictedLatencyMs != cm2.PredictedLatencyMs ||
+		cm1.ConvKernelMs != cm2.ConvKernelMs || cm1.TransformMs != cm2.TransformMs {
+		t.Fatalf("warm compile diverged: cold %.6f/%.6f/%.6f, warm %.6f/%.6f/%.6f",
+			cm1.PredictedLatencyMs, cm1.ConvKernelMs, cm1.TransformMs,
+			cm2.PredictedLatencyMs, cm2.ConvKernelMs, cm2.TransformMs)
+	}
+}

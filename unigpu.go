@@ -24,6 +24,7 @@ package unigpu
 import (
 	"fmt"
 
+	"unigpu/internal/autotvm"
 	"unigpu/internal/bench"
 	"unigpu/internal/graph"
 	"unigpu/internal/models"
@@ -59,14 +60,71 @@ func ModelNames() []string { return models.Names() }
 // Platforms lists the three evaluation platforms in paper order.
 func Platforms() []*Platform { return sim.Platforms() }
 
+// TuningDB is the persistent tuning-records database of §3.2.3: tuning
+// winners keyed by (device, workload), including the graph tuner's
+// per-layout candidate sets, so a workload is never searched twice.
+type TuningDB = autotvm.DB
+
+// OpenTuningDB loads a tuning database from disk, creating an empty one if
+// the file does not exist. A corrupt file is an error, never a silently
+// empty database.
+func OpenTuningDB(path string) (*TuningDB, error) { return autotvm.OpenDB(path) }
+
+// NewTuningDB creates an in-memory tuning database; path may be empty for
+// no persistence.
+func NewTuningDB(path string) *TuningDB { return autotvm.NewDB(path) }
+
 // Engine owns the tuning caches shared across compilations (the per-
 // platform schedule database of §3.2.3).
 type Engine struct {
 	est *bench.Estimator
 }
 
+// EngineOptions configures the tuning pipeline shared by an engine's
+// compilations.
+type EngineOptions struct {
+	// DB is an optional persistent tuning-records database: Compile
+	// consults it before searching and stores winners after, so a warm
+	// database makes a cold Compile near-instant. Call SaveTuning (or
+	// DB.Save) to persist it.
+	DB *TuningDB
+	// Jobs bounds the parallel tuning worker pool (0 = GOMAXPROCS).
+	Jobs int
+	// Budget overrides the per-layout search budget (0 = default 48).
+	Budget int
+	// Seed overrides the search RNG seed (0 = default 1).
+	Seed int64
+}
+
 // NewEngine creates an engine with default search budgets.
 func NewEngine() *Engine { return &Engine{est: bench.NewEstimator()} }
+
+// NewEngineWith creates an engine with an attached tuning database and
+// explicit parallelism/budget settings.
+func NewEngineWith(opts EngineOptions) *Engine {
+	est := bench.NewEstimator()
+	est.DB = opts.DB
+	est.Jobs = opts.Jobs
+	if opts.Budget > 0 {
+		est.Budget = opts.Budget
+	}
+	if opts.Seed != 0 {
+		est.Seed = opts.Seed
+	}
+	return &Engine{est: est}
+}
+
+// TuningDB returns the engine's tuning database, or nil.
+func (e *Engine) TuningDB() *TuningDB { return e.est.DB }
+
+// SaveTuning persists the engine's tuning database, if one with a backing
+// path was provided.
+func (e *Engine) SaveTuning() error {
+	if e.est.DB == nil {
+		return nil
+	}
+	return e.est.DB.Save()
+}
 
 // CompileOptions configures one compilation.
 type CompileOptions struct {
