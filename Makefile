@@ -21,8 +21,11 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench runs the runtime + ops benchmarks (session hot path, pooled
+# kernels, dispatch overhead) and archives them as BENCH_runtime.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 20x ./internal/runtime ./internal/ops | tee bench.out
+	$(GO) run ./cmd/bench2json -in bench.out -out BENCH_runtime.json
 
 # trace produces a sample Chrome trace + metrics dump from a quick run.
 trace:

@@ -1,11 +1,17 @@
-// Command unigpu-bench regenerates the paper's tables and figures.
+// Command unigpu-bench regenerates the paper's tables and figures, and
+// benchmarks the pooled serving runtime (-streams).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
 
+	"unigpu"
 	"unigpu/internal/autotvm"
 	"unigpu/internal/bench"
 	"unigpu/internal/obs"
@@ -19,10 +25,29 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
+	streams := flag.Int("streams", 0, "serving mode: N concurrent clients, each with its own session over one shared plan (0 = off)")
+	model := flag.String("model", "SqueezeNet1.0", "serving mode: model to serve")
+	size := flag.Int("size", 64, "serving mode: square input size")
+	requests := flag.Int("requests", 32, "serving mode: requests per client")
+	workers := flag.Int("workers", 1, "serving mode: per-session CPU worker pool for concurrent node dispatch")
+	gpuStreams := flag.Int("gpu-streams", 1, "serving mode: simulated GPU command queues per session")
 	flag.Parse()
 
 	if *trace != "" || *metrics {
 		obs.Enable()
+	}
+	if *streams > 0 {
+		serve(*model, *size, *streams, *requests, *workers, *gpuStreams)
+		if *metrics {
+			fmt.Print(obs.DumpMetrics())
+		}
+		if *trace != "" {
+			if err := obs.WriteChromeTraceFile(*trace); err != nil {
+				log.Fatalf("write trace: %v", err)
+			}
+			log.Printf("trace written to %s (%d spans)", *trace, len(obs.Records()))
+		}
+		return
 	}
 	e := bench.NewEstimator()
 	e.Jobs = *jobs
@@ -93,4 +118,72 @@ func main() {
 		r := e.FallbackExperiment()
 		fmt.Printf("\nFallback: all-GPU %.2f ms, fallback %.2f ms, overhead %.2f%%\n", r.AllGPUMs, r.FallbackMs, r.OverheadPct)
 	}
+}
+
+// serve runs the concurrent-client throughput benchmark: one compiled
+// plan, N clients each owning a pooled session, every client issuing R
+// back-to-back requests. Reports aggregate QPS and per-request p50/p99.
+func serve(model string, size, streams, requests, workers, gpuStreams int) {
+	eng := unigpu.NewEngine()
+	cm, err := eng.Compile(model, unigpu.DeepLens, unigpu.CompileOptions{InputSize: size, SkipTuning: true})
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	plan, err := cm.Plan()
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+	log.Printf("serving %s size=%d: %d nodes, arena %d KiB (liveness peak %d KiB, %d KiB without reuse)",
+		model, size, plan.NumNodes(), plan.ArenaBytes()/1024, plan.PeakLiveBytes()/1024, plan.IntermediateBytes()/1024)
+
+	opts := unigpu.SessionOptions{Workers: workers, GPUStreams: gpuStreams}
+	sessions := make([]*unigpu.Session, streams)
+	inputs := make([]*unigpu.Tensor, streams)
+	rng := rand.New(rand.NewSource(1))
+	for i := range sessions {
+		if sessions[i], err = cm.NewSessionWith(opts); err != nil {
+			log.Fatalf("session: %v", err)
+		}
+		in := unigpu.NewTensor(cm.InputShape()...)
+		d := in.Data()
+		for j := range d {
+			d[j] = rng.Float32()
+		}
+		inputs[i] = in
+		if _, err := sessions[i].Run(in); err != nil { // warm-up
+			log.Fatalf("warm-up run: %v", err)
+		}
+	}
+
+	lat := make([][]time.Duration, streams)
+	var wg sync.WaitGroup
+	wg.Add(streams)
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		go func(i int) {
+			defer wg.Done()
+			lat[i] = make([]time.Duration, requests)
+			for r := 0; r < requests; r++ {
+				t0 := time.Now()
+				if _, err := sessions[i].Run(inputs[i]); err != nil {
+					log.Fatalf("client %d: %v", i, err)
+				}
+				lat[i][r] = time.Since(t0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	total := streams * requests
+	fmt.Printf("streams=%d workers=%d gpu-streams=%d: %d requests in %v\n",
+		streams, workers, gpuStreams, total, wall.Round(time.Millisecond))
+	fmt.Printf("  throughput %.1f req/s, latency p50 %v p99 %v\n",
+		float64(total)/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 }

@@ -237,29 +237,35 @@ func b2f(b bool) float64 {
 }
 
 func evalCall(c *ir.Call, env *Env) float64 {
-	args := make([]float64, len(c.Args))
-	for i, a := range c.Args {
-		args[i] = evalExpr(a, env)
+	// Every known intrinsic takes one or two arguments; evaluating them
+	// directly keeps kernel inner loops free of per-call slice allocations.
+	if len(c.Args) < 1 || len(c.Args) > 2 {
+		panic(fmt.Sprintf("unknown intrinsic %q with %d args", c.Fn, len(c.Args)))
+	}
+	a0 := evalExpr(c.Args[0], env)
+	var a1 float64
+	if len(c.Args) == 2 {
+		a1 = evalExpr(c.Args[1], env)
 	}
 	switch c.Fn {
 	case "exp":
-		return math.Exp(args[0])
+		return math.Exp(a0)
 	case "log":
-		return math.Log(args[0])
+		return math.Log(a0)
 	case "sqrt":
-		return math.Sqrt(args[0])
+		return math.Sqrt(a0)
 	case "abs":
-		return math.Abs(args[0])
+		return math.Abs(a0)
 	case "floor":
-		return math.Floor(args[0])
+		return math.Floor(a0)
 	case "sigmoid":
-		return 1 / (1 + math.Exp(-args[0]))
+		return 1 / (1 + math.Exp(-a0))
 	case "pow":
-		return math.Pow(args[0], args[1])
+		return math.Pow(a0, a1)
 	// The Intel subgroup primitives degenerate to plain data movement under
 	// sequential single-lane semantics.
 	case "intel_sub_group_block_read", "intel_sub_group_shuffle":
-		return args[0]
+		return a0
 	}
 	panic(fmt.Sprintf("unknown intrinsic %q", c.Fn))
 }

@@ -21,10 +21,15 @@ func (o *HeadReshapeOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return tensor.Shape{s[0], s[2] * s[3] * o.Anchors, o.Attrs}
 }
 func (o *HeadReshapeOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	s := ins[0].Shape()
+	out := tensor.New(s[0], s[2]*s[3]*o.Anchors, o.Attrs)
+	o.ExecuteInto(out, ins)
+	return out
+}
+func (o *HeadReshapeOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 	in := ins[0]
 	s := in.Shape()
 	batch, h, w := s[0], s[2], s[3]
-	out := tensor.New(batch, h*w*o.Anchors, o.Attrs)
 	for b := 0; b < batch; b++ {
 		for a := 0; a < o.Anchors; a++ {
 			for k := 0; k < o.Attrs; k++ {
@@ -37,7 +42,6 @@ func (o *HeadReshapeOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 func (o *HeadReshapeOp) GPUFriendly() bool { return true }
 

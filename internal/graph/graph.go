@@ -40,6 +40,16 @@ type Operator interface {
 	GPUFriendly() bool
 }
 
+// IntoOperator is implemented by operators that can compute into a
+// caller-provided output tensor of the inferred shape without allocating.
+// The pooled runtime (runtime.Plan) executes these against arena-backed
+// buffers; operators lacking the method fall back to Execute plus a copy.
+type IntoOperator interface {
+	Operator
+	// ExecuteInto computes the output into out, overwriting every element.
+	ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor)
+}
+
 // Node is one vertex of the computational graph.
 type Node struct {
 	ID     int

@@ -6,6 +6,11 @@ import (
 	"unigpu/internal/vision"
 )
 
+// The dense-compute and data-movement operators implement IntoOperator so
+// the pooled runtime can execute them against preallocated arena buffers;
+// the vision post-processing operators (dynamic-size sorting/suppression
+// pipelines) keep the allocating Execute path.
+
 // ConvOp is a 2-D convolution; inputs: data, weight[, bias].
 type ConvOp struct{ W ops.ConvWorkload }
 
@@ -20,6 +25,13 @@ func (o *ConvOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	}
 	return ops.Conv2D(ins[0], ins[1], bias, o.W)
 }
+func (o *ConvOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	var bias *tensor.Tensor
+	if len(ins) > 2 {
+		bias = ins[2]
+	}
+	ops.Conv2DInto(out, ins[0], ins[1], bias, o.W)
+}
 func (o *ConvOp) GPUFriendly() bool { return true }
 
 // BatchNormOp is inference-mode batch normalization; inputs: data, gamma,
@@ -30,6 +42,9 @@ func (o *BatchNormOp) Kind() string                               { return "batc
 func (o *BatchNormOp) InferShape(ins []tensor.Shape) tensor.Shape { return ins[0].Clone() }
 func (o *BatchNormOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	return ops.BatchNormInference(ins[0], ins[1], ins[2], ins[3], ins[4], o.Eps)
+}
+func (o *BatchNormOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.BatchNormInferenceInto(out, ins[0], ins[1], ins[2], ins[3], ins[4], o.Eps)
 }
 func (o *BatchNormOp) GPUFriendly() bool { return true }
 
@@ -52,6 +67,13 @@ func (o *ActivationOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	}
 	return ops.ReLU(ins[0])
 }
+func (o *ActivationOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	if o.Act == ops.ActLeakyReLU {
+		ops.LeakyReLUInto(out, ins[0], o.Alpha)
+		return
+	}
+	ops.ReLUInto(out, ins[0])
+}
 func (o *ActivationOp) GPUFriendly() bool { return true }
 
 // SigmoidOp is the logistic activation.
@@ -60,7 +82,10 @@ type SigmoidOp struct{}
 func (o *SigmoidOp) Kind() string                                { return "sigmoid" }
 func (o *SigmoidOp) InferShape(ins []tensor.Shape) tensor.Shape  { return ins[0].Clone() }
 func (o *SigmoidOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Sigmoid(ins[0]) }
-func (o *SigmoidOp) GPUFriendly() bool                           { return true }
+func (o *SigmoidOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.SigmoidInto(out, ins[0])
+}
+func (o *SigmoidOp) GPUFriendly() bool { return true }
 
 // PoolOp is kernel×kernel max/avg pooling.
 type PoolOp struct {
@@ -78,6 +103,9 @@ func (o *PoolOp) InferShape(ins []tensor.Shape) tensor.Shape {
 func (o *PoolOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	return ops.Pool2D(ins[0], o.PoolKind, o.Kernel, o.Stride, o.Pad)
 }
+func (o *PoolOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.Pool2DInto(out, ins[0], o.PoolKind, o.Kernel, o.Stride, o.Pad)
+}
 func (o *PoolOp) GPUFriendly() bool { return true }
 
 // GlobalPoolOp reduces each channel plane to 1×1.
@@ -89,6 +117,9 @@ func (o *GlobalPoolOp) InferShape(ins []tensor.Shape) tensor.Shape {
 }
 func (o *GlobalPoolOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	return ops.GlobalAvgPool(ins[0])
+}
+func (o *GlobalPoolOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.GlobalAvgPoolInto(out, ins[0])
 }
 func (o *GlobalPoolOp) GPUFriendly() bool { return true }
 
@@ -106,6 +137,13 @@ func (o *DenseOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	}
 	return ops.Dense(ins[0], ins[1], bias)
 }
+func (o *DenseOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	var bias *tensor.Tensor
+	if len(ins) > 2 {
+		bias = ins[2]
+	}
+	ops.DenseInto(out, ins[0], ins[1], bias)
+}
 func (o *DenseOp) GPUFriendly() bool { return true }
 
 // SoftmaxOp normalizes along the last axis.
@@ -114,7 +152,10 @@ type SoftmaxOp struct{}
 func (o *SoftmaxOp) Kind() string                                { return "softmax" }
 func (o *SoftmaxOp) InferShape(ins []tensor.Shape) tensor.Shape  { return ins[0].Clone() }
 func (o *SoftmaxOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Softmax(ins[0]) }
-func (o *SoftmaxOp) GPUFriendly() bool                           { return true }
+func (o *SoftmaxOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.SoftmaxInto(out, ins[0])
+}
+func (o *SoftmaxOp) GPUFriendly() bool { return true }
 
 // FlattenOp reshapes to (N, rest).
 type FlattenOp struct{}
@@ -124,7 +165,12 @@ func (o *FlattenOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return tensor.Shape{ins[0][0], ins[0].NumElements() / ins[0][0]}
 }
 func (o *FlattenOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Flatten(ins[0]) }
-func (o *FlattenOp) GPUFriendly() bool                           { return true }
+func (o *FlattenOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	// Row-major data is identical across the reshape; the pooled runtime
+	// wants its own buffer rather than a view, so copy.
+	copy(out.Data(), ins[0].Data())
+}
+func (o *FlattenOp) GPUFriendly() bool { return true }
 
 // AddOp is an elementwise residual sum.
 type AddOp struct{}
@@ -132,7 +178,10 @@ type AddOp struct{}
 func (o *AddOp) Kind() string                                { return "add" }
 func (o *AddOp) InferShape(ins []tensor.Shape) tensor.Shape  { return ins[0].Clone() }
 func (o *AddOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Add(ins[0], ins[1]) }
-func (o *AddOp) GPUFriendly() bool                           { return true }
+func (o *AddOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.AddInto(out, ins[0], ins[1])
+}
+func (o *AddOp) GPUFriendly() bool { return true }
 
 // ConcatOp joins along axis 1 for rank-4 (channels) or rank-3 (detection
 // rows) tensors.
@@ -147,17 +196,19 @@ func (o *ConcatOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return out
 }
 func (o *ConcatOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(o.InferShape(shapesOf(ins))...)
+	o.ExecuteInto(out, ins)
+	return out
+}
+func (o *ConcatOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 	if ins[0].Rank() == 4 {
-		return ops.Concat(ins...)
+		ops.ConcatInto(out, ins...)
+		return
 	}
 	// Rank-3 detection concat: (batch, rows, width).
 	s0 := ins[0].Shape()
 	batch, width := s0[0], s0[2]
-	total := 0
-	for _, t := range ins {
-		total += t.Shape()[1]
-	}
-	out := tensor.New(batch, total, width)
+	total := out.Shape()[1]
 	off := 0
 	for _, t := range ins {
 		rows := t.Shape()[1]
@@ -168,9 +219,17 @@ func (o *ConcatOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 		}
 		off += rows
 	}
-	return out
 }
 func (o *ConcatOp) GPUFriendly() bool { return true }
+
+// shapesOf collects the input shapes for shape inference at execute time.
+func shapesOf(ins []*tensor.Tensor) []tensor.Shape {
+	shapes := make([]tensor.Shape, len(ins))
+	for i, t := range ins {
+		shapes[i] = t.Shape()
+	}
+	return shapes
+}
 
 // UpsampleOp is 2x nearest-neighbour upsampling.
 type UpsampleOp struct{}
@@ -182,6 +241,9 @@ func (o *UpsampleOp) InferShape(ins []tensor.Shape) tensor.Shape {
 }
 func (o *UpsampleOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	return ops.UpsampleNearest2x(ins[0])
+}
+func (o *UpsampleOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.UpsampleNearest2xInto(out, ins[0])
 }
 func (o *UpsampleOp) GPUFriendly() bool { return true }
 
@@ -250,4 +312,7 @@ func (o *DeviceCopyOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return ins[0].Clone()
 }
 func (o *DeviceCopyOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ins[0].Clone() }
-func (o *DeviceCopyOp) GPUFriendly() bool                           { return true }
+func (o *DeviceCopyOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	copy(out.Data(), ins[0].Data())
+}
+func (o *DeviceCopyOp) GPUFriendly() bool { return true }

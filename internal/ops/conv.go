@@ -3,6 +3,7 @@ package ops
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"unigpu/internal/tensor"
 )
@@ -11,8 +12,15 @@ import (
 // with OIHW weights, optional bias, and an optional fused activation. The
 // spatial-output loop is parallelized across host cores.
 func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
+	out := tensor.New(w.N, w.COut, w.OutH(), w.OutW())
+	Conv2DInto(out, in, weight, bias, w)
+	return out
+}
+
+// Conv2DInto is Conv2D computing into a caller-provided output tensor of
+// shape (N, COut, OutH, OutW); it allocates no intermediate storage.
+func Conv2DInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
 	oh, ow := w.OutH(), w.OutW()
-	out := tensor.New(w.N, w.COut, oh, ow)
 	g := max(1, w.Groups)
 	cinPerG := w.CIn / g
 	coutPerG := w.COut / g
@@ -20,6 +28,10 @@ func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
 	ind := in.Data()
 	wd := weight.Data()
 	od := out.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
 
 	parallelFor(w.N*w.COut, func(job int) {
 		n := job / w.COut
@@ -27,8 +39,8 @@ func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
 		grp := co / coutPerG
 		ciBase := grp * cinPerG
 		var b float32
-		if bias != nil {
-			b = bias.Data()[co]
+		if bd != nil {
+			b = bd[co]
 		}
 		for y := 0; y < oh; y++ {
 			for x := 0; x < ow; x++ {
@@ -54,7 +66,6 @@ func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
 			}
 		}
 	})
-	return out
 }
 
 func applyActivation(v float32, a Activation) float32 {
@@ -71,7 +82,8 @@ func applyActivation(v float32, a Activation) float32 {
 	return v
 }
 
-// parallelFor runs jobs [0,n) across host cores.
+// parallelFor runs jobs [0,n) across host cores. Workers claim jobs off an
+// atomic counter, so setup cost is O(workers), not O(n) channel sends.
 func parallelFor(n int, f func(i int)) {
 	workers := runtime.NumCPU()
 	if workers > n {
@@ -83,17 +95,17 @@ func parallelFor(n int, f func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				f(i)
 			}
 		}()
@@ -103,21 +115,30 @@ func parallelFor(n int, f func(i int)) {
 
 // Dense computes out[n,o] = sum_i in[n,i]*W[o,i] + bias[o].
 func Dense(in, weight, bias *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape()[0], weight.Shape()[0])
+	DenseInto(out, in, weight, bias)
+	return out
+}
+
+// DenseInto is Dense computing into a caller-provided (N, O) tensor.
+func DenseInto(out, in, weight, bias *tensor.Tensor) {
 	n := in.Shape()[0]
 	k := in.Shape()[1]
 	o := weight.Shape()[0]
-	out := tensor.New(n, o)
 	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
 	parallelFor(n*o, func(job int) {
 		ni, oi := job/o, job%o
 		var sum float32
-		if bias != nil {
-			sum = bias.Data()[oi]
+		if bd != nil {
+			sum = bd[oi]
 		}
 		for i := 0; i < k; i++ {
 			sum += ind[ni*k+i] * wd[oi*k+i]
 		}
 		od[ni*o+oi] = sum
 	})
-	return out
 }

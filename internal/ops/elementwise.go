@@ -6,72 +6,107 @@ import (
 	"unigpu/internal/tensor"
 )
 
+// Every operator here comes in two forms: the allocating reference
+// (ReLU, Add, ...) and an *Into variant computing into a caller-provided
+// output tensor. The pooled graph runtime executes the Into forms against
+// arena-backed buffers so the steady-state run loop never allocates.
+
 // ReLU applies max(0, x) elementwise.
 func ReLU(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
-	d := out.Data()
-	for i, v := range d {
+	out := tensor.New(in.Shape()...)
+	ReLUInto(out, in)
+	return out
+}
+
+// ReLUInto applies max(0, x) into out (which may alias in).
+func ReLUInto(out, in *tensor.Tensor) {
+	d, id := out.Data(), in.Data()
+	for i, v := range id {
 		if v < 0 {
 			d[i] = 0
+		} else {
+			d[i] = v
 		}
 	}
-	return out
 }
 
 // LeakyReLU applies x<0 ? alpha*x : x elementwise.
 func LeakyReLU(in *tensor.Tensor, alpha float32) *tensor.Tensor {
-	out := in.Clone()
-	d := out.Data()
-	for i, v := range d {
+	out := tensor.New(in.Shape()...)
+	LeakyReLUInto(out, in, alpha)
+	return out
+}
+
+// LeakyReLUInto applies the leaky rectifier into out.
+func LeakyReLUInto(out, in *tensor.Tensor, alpha float32) {
+	d, id := out.Data(), in.Data()
+	for i, v := range id {
 		if v < 0 {
 			d[i] = alpha * v
+		} else {
+			d[i] = v
 		}
 	}
-	return out
 }
 
 // Sigmoid applies the logistic function elementwise.
 func Sigmoid(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
-	d := out.Data()
-	for i, v := range d {
+	out := tensor.New(in.Shape()...)
+	SigmoidInto(out, in)
+	return out
+}
+
+// SigmoidInto applies the logistic function into out.
+func SigmoidInto(out, in *tensor.Tensor) {
+	d, id := out.Data(), in.Data()
+	for i, v := range id {
 		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
-	return out
 }
 
 // Add computes the elementwise sum of two same-shape tensors (residual
 // connections).
 func Add(a, b *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(a.Shape()...)
+	AddInto(out, a, b)
+	return out
+}
+
+// AddInto sums a and b elementwise into out.
+func AddInto(out, a, b *tensor.Tensor) {
 	if !a.Shape().Equal(b.Shape()) {
 		panic("ops: Add shape mismatch " + a.Shape().String() + " vs " + b.Shape().String())
 	}
-	out := a.Clone()
-	d, bd := out.Data(), b.Data()
+	d, ad, bd := out.Data(), a.Data(), b.Data()
 	for i := range d {
-		d[i] += bd[i]
+		d[i] = ad[i] + bd[i]
 	}
-	return out
 }
 
 // BatchNormInference applies the folded affine form of batch norm:
 // y = gamma * (x - mean) / sqrt(var + eps) + beta, per channel (NCHW).
 func BatchNormInference(in, gamma, beta, mean, variance *tensor.Tensor, eps float32) *tensor.Tensor {
+	out := tensor.New(in.Shape()...)
+	BatchNormInferenceInto(out, in, gamma, beta, mean, variance, eps)
+	return out
+}
+
+// BatchNormInferenceInto applies inference-mode batch norm into out.
+func BatchNormInferenceInto(out, in, gamma, beta, mean, variance *tensor.Tensor, eps float32) {
 	s := in.Shape()
 	c, hw := s[1], s[2]*s[3]
-	out := in.Clone()
-	d := out.Data()
+	d, id := out.Data(), in.Data()
+	gd, bd, md, vd := gamma.Data(), beta.Data(), mean.Data(), variance.Data()
 	for n := 0; n < s[0]; n++ {
 		for ci := 0; ci < c; ci++ {
-			scale := gamma.Data()[ci] / float32(math.Sqrt(float64(variance.Data()[ci]+eps)))
-			shift := beta.Data()[ci] - mean.Data()[ci]*scale
+			scale := gd[ci] / float32(math.Sqrt(float64(vd[ci]+eps)))
+			shift := bd[ci] - md[ci]*scale
 			base := (n*c + ci) * hw
 			for i := 0; i < hw; i++ {
-				d[base+i] = d[base+i]*scale + shift
+				d[base+i] = id[base+i]*scale + shift
 			}
 		}
 	}
-	return out
 }
 
 // FoldBatchNorm rewrites (gamma, beta, mean, var) into the equivalent
@@ -90,21 +125,28 @@ func FoldBatchNorm(gamma, beta, mean, variance *tensor.Tensor, eps float32) (sca
 
 // Softmax normalizes along the last axis.
 func Softmax(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape()...)
+	SoftmaxInto(out, in)
+	return out
+}
+
+// SoftmaxInto normalizes along the last axis into out (may alias in).
+func SoftmaxInto(out, in *tensor.Tensor) {
 	s := in.Shape()
 	last := s[len(s)-1]
 	rows := in.Size() / last
-	out := in.Clone()
-	d := out.Data()
+	d, id := out.Data(), in.Data()
 	for r := 0; r < rows; r++ {
+		src := id[r*last : (r+1)*last]
 		row := d[r*last : (r+1)*last]
-		maxV := row[0]
-		for _, v := range row {
+		maxV := src[0]
+		for _, v := range src {
 			if v > maxV {
 				maxV = v
 			}
 		}
 		var sum float64
-		for i, v := range row {
+		for i, v := range src {
 			e := math.Exp(float64(v - maxV))
 			row[i] = float32(e)
 			sum += e
@@ -113,7 +155,6 @@ func Softmax(in *tensor.Tensor) *tensor.Tensor {
 			row[i] = float32(float64(row[i]) / sum)
 		}
 	}
-	return out
 }
 
 // Concat joins tensors along the channel axis (axis 1, NCHW).
@@ -122,45 +163,69 @@ func Concat(ts ...*tensor.Tensor) *tensor.Tensor {
 		panic("ops: Concat of nothing")
 	}
 	s0 := ts[0].Shape()
-	n, h, w := s0[0], s0[2], s0[3]
 	totalC := 0
+	for _, t := range ts {
+		totalC += t.Shape()[1]
+	}
+	out := tensor.New(s0[0], totalC, s0[2], s0[3])
+	ConcatInto(out, ts...)
+	return out
+}
+
+// ConcatInto joins tensors along the channel axis into out.
+func ConcatInto(out *tensor.Tensor, ts ...*tensor.Tensor) {
+	if len(ts) == 0 {
+		panic("ops: Concat of nothing")
+	}
+	s0 := ts[0].Shape()
+	n, h, w := s0[0], s0[2], s0[3]
+	totalC := out.Shape()[1]
 	for _, t := range ts {
 		s := t.Shape()
 		if s[0] != n || s[2] != h || s[3] != w {
 			panic("ops: Concat non-channel dims must match")
 		}
-		totalC += s[1]
 	}
-	out := tensor.New(n, totalC, h, w)
 	cOff := 0
+	od := out.Data()
 	for _, t := range ts {
 		c := t.Shape()[1]
 		for ni := 0; ni < n; ni++ {
 			src := t.Data()[ni*c*h*w : (ni+1)*c*h*w]
-			dst := out.Data()[(ni*totalC+cOff)*h*w : (ni*totalC+cOff+c)*h*w]
+			dst := od[(ni*totalC+cOff)*h*w : (ni*totalC+cOff+c)*h*w]
 			copy(dst, src)
 		}
 		cOff += c
 	}
-	return out
 }
 
 // UpsampleNearest2x doubles spatial resolution by nearest neighbour (the
 // YOLOv3 route/upsample block).
 func UpsampleNearest2x(in *tensor.Tensor) *tensor.Tensor {
 	s := in.Shape()
+	out := tensor.New(s[0], s[1], 2*s[2], 2*s[3])
+	UpsampleNearest2xInto(out, in)
+	return out
+}
+
+// UpsampleNearest2xInto doubles spatial resolution into out.
+func UpsampleNearest2xInto(out, in *tensor.Tensor) {
+	s := in.Shape()
 	n, c, h, w := s[0], s[1], s[2], s[3]
-	out := tensor.New(n, c, 2*h, 2*w)
+	od, id := out.Data(), in.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
+			iBase := (ni*c + ci) * h * w
+			oBase := (ni*c + ci) * 4 * h * w
 			for y := 0; y < 2*h; y++ {
+				srcRow := id[iBase+(y/2)*w : iBase+(y/2)*w+w]
+				dstRow := od[oBase+y*2*w : oBase+(y+1)*2*w]
 				for x := 0; x < 2*w; x++ {
-					out.Set(in.At(ni, ci, y/2, x/2), ni, ci, y, x)
+					dstRow[x] = srcRow[x/2]
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Flatten reshapes (N, C, H, W) to (N, C*H*W).

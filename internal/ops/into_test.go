@@ -1,0 +1,151 @@
+package ops
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"unigpu/internal/tensor"
+)
+
+// randT makes a deterministic pseudo-random tensor.
+func randT(seed int64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillRandom(seed)
+	return t
+}
+
+func assertSame(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.Shape().Equal(want.Shape()) {
+		t.Fatalf("%s: shape %v, want %v", name, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range wd {
+		if gd[i] != wd[i] {
+			t.Fatalf("%s: differs at %d: %v != %v", name, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestIntoVariantsMatchAllocating: every *Into kernel must be bit-identical
+// to its allocating wrapper — the pooled runtime swaps them in freely.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	in := randT(1, 1, 6, 9, 9)
+	w := ConvWorkload{N: 1, CIn: 6, COut: 4, H: 9, W: 9, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	weight := randT(2, 4, 6, 3, 3)
+	bias := randT(3, 4)
+
+	conv := Conv2D(in, weight, bias, w)
+	convInto := tensor.New(conv.Shape()...)
+	Conv2DInto(convInto, in, weight, bias, w)
+	assertSame(t, "conv2d", convInto, conv)
+
+	x := randT(4, 1, 4, 8, 8)
+	checks := []struct {
+		name string
+		ref  *tensor.Tensor
+		into func(out *tensor.Tensor)
+	}{
+		{"relu", ReLU(x), func(o *tensor.Tensor) { ReLUInto(o, x) }},
+		{"leaky_relu", LeakyReLU(x, 0.1), func(o *tensor.Tensor) { LeakyReLUInto(o, x, 0.1) }},
+		{"sigmoid", Sigmoid(x), func(o *tensor.Tensor) { SigmoidInto(o, x) }},
+		{"pool_max", Pool2D(x, MaxPool, 2, 2, 0), func(o *tensor.Tensor) { Pool2DInto(o, x, MaxPool, 2, 2, 0) }},
+		{"pool_avg", Pool2D(x, AvgPool, 3, 2, 1), func(o *tensor.Tensor) { Pool2DInto(o, x, AvgPool, 3, 2, 1) }},
+		{"global_avg", GlobalAvgPool(x), func(o *tensor.Tensor) { GlobalAvgPoolInto(o, x) }},
+		{"upsample", UpsampleNearest2x(x), func(o *tensor.Tensor) { UpsampleNearest2xInto(o, x) }},
+	}
+	for _, c := range checks {
+		out := tensor.New(c.ref.Shape()...)
+		out.Fill(-123) // poison: Into must overwrite every element
+		c.into(out)
+		assertSame(t, c.name, out, c.ref)
+	}
+
+	y := randT(5, 1, 4, 8, 8)
+	sum := Add(x, y)
+	sumInto := tensor.New(sum.Shape()...)
+	AddInto(sumInto, x, y)
+	assertSame(t, "add", sumInto, sum)
+
+	cat := Concat(x, y)
+	catInto := tensor.New(cat.Shape()...)
+	ConcatInto(catInto, x, y)
+	assertSame(t, "concat", catInto, cat)
+
+	gamma, beta, mean, vr := randT(6, 4), randT(7, 4), randT(8, 4), randT(9, 4)
+	vd := vr.Data()
+	for i := range vd {
+		if vd[i] < 0 {
+			vd[i] = -vd[i]
+		}
+		vd[i] += 0.5
+	}
+	bn := BatchNormInference(x, gamma, beta, mean, vr, 1e-5)
+	bnInto := tensor.New(bn.Shape()...)
+	BatchNormInferenceInto(bnInto, x, gamma, beta, mean, vr, 1e-5)
+	assertSame(t, "batchnorm", bnInto, bn)
+
+	logits := randT(10, 2, 10)
+	sm := Softmax(logits)
+	smInto := tensor.New(sm.Shape()...)
+	SoftmaxInto(smInto, logits)
+	assertSame(t, "softmax", smInto, sm)
+
+	dw, db := randT(11, 5, 4*8*8), randT(12, 5)
+	flat := Flatten(x)
+	d := Dense(flat, dw, db)
+	dInto := tensor.New(d.Shape()...)
+	DenseInto(dInto, flat, dw, db)
+	assertSame(t, "dense", dInto, d)
+}
+
+// TestParallelForCoversAllJobs: the atomic work queue runs every job
+// exactly once regardless of worker count.
+func TestParallelForCoversAllJobs(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		hits := make([]int32, n)
+		parallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: job %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func BenchmarkConv2DInto(b *testing.B) {
+	w := ConvWorkload{N: 1, CIn: 32, COut: 32, H: 28, W: 28, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := randT(1, 1, 32, 28, 28)
+	weight := randT(2, 32, 32, 3, 3)
+	bias := randT(3, 32)
+	out := tensor.New(1, 32, w.OutH(), w.OutW())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DInto(out, in, weight, bias, w)
+	}
+}
+
+func BenchmarkDenseInto(b *testing.B) {
+	in := randT(1, 4, 1024)
+	weight := randT(2, 1000, 1024)
+	bias := randT(3, 1000)
+	out := tensor.New(4, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DenseInto(out, in, weight, bias)
+	}
+}
+
+// BenchmarkParallelForDispatch isolates scheduling overhead: many tiny
+// jobs, so the atomic-counter work queue dominates the measurement.
+func BenchmarkParallelForDispatch(b *testing.B) {
+	var sink atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		parallelFor(1024, func(j int) { sink.Add(int64(j)) })
+	}
+}

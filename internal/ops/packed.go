@@ -23,17 +23,24 @@ func Conv2DPacked(in, weight, bias *tensor.Tensor, w ConvWorkload, block int) *t
 	out := tensor.New(w.N, coBlocks, oh, ow, block)
 
 	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
 	inStrideCB := w.H * w.W * block // one input channel block plane
 	parallelFor(w.N*coBlocks, func(job int) {
 		n := job / coBlocks
 		cb := job % coBlocks
+		acc := make([]float32, block) // one accumulator per job, not per pixel
 		for y := 0; y < oh; y++ {
 			for x := 0; x < ow; x++ {
-				acc := make([]float32, block)
-				if bias != nil {
+				for v := range acc {
+					acc[v] = 0
+				}
+				if bd != nil {
 					for v := 0; v < block; v++ {
 						if co := cb*block + v; co < w.COut {
-							acc[v] = bias.Data()[co]
+							acc[v] = bd[co]
 						}
 					}
 				}

@@ -19,10 +19,20 @@ const (
 // (count_include_pad=false), matching GluonCV defaults.
 func Pool2D(in *tensor.Tensor, kind PoolKind, kernel, stride, pad int) *tensor.Tensor {
 	s := in.Shape()
+	oh := (s[2]+2*pad-kernel)/stride + 1
+	ow := (s[3]+2*pad-kernel)/stride + 1
+	out := tensor.New(s[0], s[1], oh, ow)
+	Pool2DInto(out, in, kind, kernel, stride, pad)
+	return out
+}
+
+// Pool2DInto applies pooling into a caller-provided (N, C, OutH, OutW)
+// tensor.
+func Pool2DInto(out, in *tensor.Tensor, kind PoolKind, kernel, stride, pad int) {
+	s := in.Shape()
 	n, c, h, w := s[0], s[1], s[2], s[3]
 	oh := (h+2*pad-kernel)/stride + 1
 	ow := (w+2*pad-kernel)/stride + 1
-	out := tensor.New(n, c, oh, ow)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			for y := 0; y < oh; y++ {
@@ -59,23 +69,29 @@ func Pool2D(in *tensor.Tensor, kind PoolKind, kernel, stride, pad int) *tensor.T
 			}
 		}
 	}
-	return out
 }
 
 // GlobalAvgPool reduces each channel plane to one value: (N,C,H,W)->(N,C,1,1).
 func GlobalAvgPool(in *tensor.Tensor) *tensor.Tensor {
 	s := in.Shape()
+	out := tensor.New(s[0], s[1], 1, 1)
+	GlobalAvgPoolInto(out, in)
+	return out
+}
+
+// GlobalAvgPoolInto reduces each channel plane to one value into out.
+func GlobalAvgPoolInto(out, in *tensor.Tensor) {
+	s := in.Shape()
 	n, c, hw := s[0], s[1], s[2]*s[3]
-	out := tensor.New(n, c, 1, 1)
+	id, od := in.Data(), out.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			base := (ni*c + ci) * hw
 			var sum float64
 			for i := 0; i < hw; i++ {
-				sum += float64(in.Data()[base+i])
+				sum += float64(id[base+i])
 			}
-			out.Set(float32(sum/float64(hw)), ni, ci, 0, 0)
+			od[ni*c+ci] = float32(sum / float64(hw))
 		}
 	}
-	return out
 }

@@ -1,0 +1,580 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unigpu/internal/graph"
+	"unigpu/internal/obs"
+	"unigpu/internal/tensor"
+)
+
+// Serving metrics. Handles are cached once: Registry.Reset zeroes metrics
+// in place, so these stay valid across resets.
+var (
+	mArenaReused   = obs.DefaultRegistry.Counter("arena.bytes_reused")
+	mQueueWait     = obs.DefaultRegistry.Histogram("sched.ready_queue_wait_ns")
+	mParallelNodes = obs.DefaultRegistry.Histogram("sched.parallel_nodes")
+)
+
+// srcKind says where a node input (or graph output) value comes from.
+type srcKind uint8
+
+const (
+	srcNode  srcKind = iota // another operator node's output
+	srcConst                // a compile-time constant
+	srcFeed                 // a graph input, bound per Run
+)
+
+// valueRef resolves one input or output value.
+type valueRef struct {
+	kind srcKind
+	node int            // srcNode: plan-node index
+	tens *tensor.Tensor // srcConst: the constant
+	name string         // srcFeed: graph-input name
+}
+
+// inputSpec is one graph input the caller must feed.
+type inputSpec struct {
+	name  string
+	shape tensor.Shape
+}
+
+// feedArg is an argument slot that must be refreshed from feeds per Run.
+type feedArg struct {
+	node, arg int
+	name      string
+}
+
+// planNode is one operator in the compiled schedule.
+type planNode struct {
+	name     string
+	kind     string
+	device   graph.DeviceClass
+	op       graph.Operator
+	into     graph.IntoOperator // nil: fall back to Execute + copy
+	args     []valueRef
+	outShape tensor.Shape
+	elems    int
+	slot     int  // arena slot index
+	gpu      bool // serialized through the simulated GPU command queue
+
+	// consumers are the plan-node indices to notify on completion: the data
+	// edges plus the anti-dependency (buffer-reuse) edges; pending is the
+	// matching initial countdown.
+	consumers []int32
+	pending   int32
+}
+
+// Plan is a compiled execution plan for one optimized graph: the
+// topological schedule, per-node dependency counts, and a liveness-based
+// static assignment of every intermediate tensor to an arena slot. A Plan
+// is immutable and safe to share between any number of Sessions; the graph
+// it was compiled from must not be mutated afterwards.
+//
+// This is the one-time half of the split the steady-state serving loop
+// needs: everything Execute used to recompute per call (validation,
+// reference counts, allocation decisions) happens exactly once here.
+type Plan struct {
+	nodes      []planNode
+	inputs     []inputSpec
+	feedArgs   []feedArg
+	outputs    []valueRef
+	slotElems  []int
+	arenaElems int
+	peakLive   int // refcount-liveness peak, as the seed executor measured
+	interBytes int // total intermediate bytes per run (without reuse)
+}
+
+// NewPlan validates and compiles the graph into an execution plan.
+func NewPlan(g *graph.Graph) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{}
+	idx := make(map[*graph.Node]int)
+	var gnodes []*graph.Node // op nodes, parallel to p.nodes
+
+	for _, n := range g.Nodes {
+		if n.IsInput() {
+			p.inputs = append(p.inputs, inputSpec{name: n.Name, shape: n.OutShape})
+		}
+	}
+
+	// Reference counts for liveness, exactly as the seed executor built
+	// them: one per consuming edge, plus one pin per graph output.
+	refs := map[*graph.Node]int{}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			refs[in]++
+		}
+	}
+	for _, o := range g.Outputs {
+		refs[o]++
+	}
+
+	// Pass 1: plan nodes and data-dependency edges.
+	for _, n := range g.Nodes {
+		if n.Op == nil {
+			continue
+		}
+		i := len(p.nodes)
+		idx[n] = i
+		pn := planNode{
+			name: n.Name, kind: n.Op.Kind(), device: n.Device,
+			op: n.Op, outShape: n.OutShape, elems: n.OutShape.NumElements(),
+			gpu: n.Device == graph.OnGPU,
+		}
+		if io, ok := n.Op.(graph.IntoOperator); ok {
+			pn.into = io
+		}
+		pn.args = make([]valueRef, len(n.Inputs))
+		for ai, in := range n.Inputs {
+			switch {
+			case in.IsConstant():
+				pn.args[ai] = valueRef{kind: srcConst, tens: in.Value}
+			case in.IsInput():
+				pn.args[ai] = valueRef{kind: srcFeed, name: in.Name}
+				p.feedArgs = append(p.feedArgs, feedArg{node: i, arg: ai, name: in.Name})
+			default:
+				j := idx[in]
+				pn.args[ai] = valueRef{kind: srcNode, node: j}
+				pn.pending++
+				p.nodes[j].consumers = append(p.nodes[j].consumers, int32(i))
+			}
+		}
+		p.nodes = append(p.nodes, pn)
+		gnodes = append(gnodes, n)
+	}
+
+	// Snapshot the pure data-consumer lists before anti-dependency edges
+	// are appended below: only data consumers actually read a buffer.
+	dataEdges := make([]int, len(p.nodes))
+	for i := range p.nodes {
+		dataEdges[i] = len(p.nodes[i].consumers)
+	}
+	readersOf := func(j int) []int32 {
+		cons := p.nodes[j].consumers[:dataEdges[j]]
+		out := make([]int32, 0, len(cons))
+		for _, c := range cons {
+			dup := false
+			for _, seen := range out {
+				if seen == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	// Pass 2: replay the seed executor's reference-counted liveness in
+	// serial topological order, assigning each intermediate a reusable
+	// arena slot (best fit, growing the largest free slot when nothing
+	// fits). Reusing a slot under concurrent dispatch is only safe once
+	// every reader of the previous occupant has finished, so reuse adds
+	// anti-dependency edges reader -> new occupant.
+	type slotState struct {
+		elems   int
+		readers []int32 // must complete before the slot is re-occupied
+	}
+	var slots []slotState
+	var free []int
+	antiSeen := map[[2]int32]bool{}
+	addAnti := func(r int32, y int) {
+		if int(r) == y || antiSeen[[2]int32{r, int32(y)}] {
+			return
+		}
+		for _, a := range p.nodes[y].args {
+			if a.kind == srcNode && a.node == int(r) {
+				return // y already waits on r through a data edge
+			}
+		}
+		antiSeen[[2]int32{r, int32(y)}] = true
+		p.nodes[r].consumers = append(p.nodes[r].consumers, int32(y))
+		p.nodes[y].pending++
+	}
+
+	live, peak := 0, 0
+	for i, n := range gnodes {
+		pn := &p.nodes[i]
+		bytes := 4 * pn.elems
+		p.interBytes += bytes
+
+		// Acquire a slot before releasing inputs, so a node never writes
+		// over a buffer it is still reading.
+		s := -1
+		if len(free) > 0 {
+			bestIdx, largestIdx := -1, 0
+			for fi, fs := range free {
+				c := slots[fs].elems
+				if c >= pn.elems && (bestIdx == -1 || c < slots[free[bestIdx]].elems) {
+					bestIdx = fi
+				}
+				if c > slots[free[largestIdx]].elems {
+					largestIdx = fi
+				}
+			}
+			pick := bestIdx
+			if pick == -1 {
+				pick = largestIdx
+			}
+			s = free[pick]
+			free = append(free[:pick], free[pick+1:]...)
+			if slots[s].elems < pn.elems {
+				slots[s].elems = pn.elems
+			}
+		} else {
+			slots = append(slots, slotState{elems: pn.elems})
+			s = len(slots) - 1
+		}
+		for _, r := range slots[s].readers {
+			addAnti(r, i)
+		}
+		slots[s].readers = nil
+		pn.slot = s
+
+		live += bytes
+		if live > peak {
+			peak = live
+		}
+		// Release inputs whose last consumer has run.
+		for _, in := range n.Inputs {
+			if in.Op == nil {
+				continue // feeds and constants are caller-owned
+			}
+			refs[in]--
+			if refs[in] == 0 {
+				j := idx[in]
+				live -= 4 * p.nodes[j].elems
+				free = append(free, p.nodes[j].slot)
+				slots[p.nodes[j].slot].readers = readersOf(j)
+			}
+		}
+		// A node with no consumers that is not an output dies immediately.
+		if refs[n] == 0 {
+			live -= bytes
+			free = append(free, s)
+			slots[s].readers = []int32{int32(i)}
+		}
+	}
+	p.peakLive = peak
+
+	p.slotElems = make([]int, len(slots))
+	for si, st := range slots {
+		p.slotElems[si] = st.elems
+		p.arenaElems += st.elems
+	}
+
+	p.outputs = make([]valueRef, len(g.Outputs))
+	for k, o := range g.Outputs {
+		switch {
+		case o.IsConstant():
+			p.outputs[k] = valueRef{kind: srcConst, tens: o.Value}
+		case o.IsInput():
+			p.outputs[k] = valueRef{kind: srcFeed, name: o.Name}
+		default:
+			p.outputs[k] = valueRef{kind: srcNode, node: idx[o]}
+		}
+	}
+	return p, nil
+}
+
+// ArenaBytes is the planned arena size: what one Session preallocates for
+// all intermediate tensors.
+func (p *Plan) ArenaBytes() int { return 4 * p.arenaElems }
+
+// PeakLiveBytes is the reference-counted liveness peak the seed executor
+// would report for this graph — the lower bound the slot assignment
+// approaches.
+func (p *Plan) PeakLiveBytes() int { return p.peakLive }
+
+// IntermediateBytes is the total bytes of intermediates produced per run
+// (what a pool-less executor allocates every inference).
+func (p *Plan) IntermediateBytes() int { return p.interBytes }
+
+// NumNodes is the number of operator nodes in the schedule.
+func (p *Plan) NumNodes() int { return len(p.nodes) }
+
+// SessionOptions configures one execution session.
+type SessionOptions struct {
+	// Workers bounds the CPU-side worker pool for concurrent node
+	// dispatch. Values <= 1 select the serial in-place loop, which
+	// performs zero heap allocations per Run.
+	Workers int
+	// GPUStreams is the number of simulated GPU command queues. 0 or 1
+	// serializes every GPU-placed node through a single in-order queue —
+	// the paper's execution model, where only CPU-fallback nodes overlap
+	// with the GPU — while larger values admit that many GPU nodes in
+	// flight (multi-stream serving). Only meaningful with Workers > 1 or
+	// GPUStreams > 1, which enable the concurrent scheduler.
+	GPUStreams int
+	// Profile enables per-node NodeProfile collection (off by default so
+	// the hot path stays allocation-free).
+	Profile bool
+}
+
+// Session is the reusable steady-state run loop over one Plan: it owns a
+// preallocated arena holding every intermediate tensor, so Run performs no
+// heap allocations for intermediates. A Session is not safe for concurrent
+// use; concurrent serving uses one Session per goroutine over a shared
+// Plan.
+type Session struct {
+	plan       *Plan
+	opts       SessionOptions
+	concurrent bool
+	arena      *tensor.Arena
+	outs       []*tensor.Tensor   // per-node arena-backed outputs
+	args       [][]*tensor.Tensor // per-node inputs; feed entries refreshed per Run
+	results    []*tensor.Tensor
+	pending    []int32
+	profile    []NodeProfile
+	readyNs    []int64 // per-node enqueue time, tracing only
+}
+
+// NewSession creates a serial zero-allocation session: nodes run in
+// topological order on the calling goroutine.
+func (p *Plan) NewSession() *Session { return p.NewSessionWith(SessionOptions{}) }
+
+// NewSessionWith creates a session with explicit scheduling options.
+func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
+	s := &Session{
+		plan:       p,
+		opts:       opts,
+		concurrent: opts.Workers > 1 || opts.GPUStreams > 1,
+		arena:      tensor.NewArena(p.arenaElems),
+	}
+	slotBuf := make([][]float32, len(p.slotElems))
+	for si, e := range p.slotElems {
+		slotBuf[si] = s.arena.Alloc(e)
+	}
+	s.outs = make([]*tensor.Tensor, len(p.nodes))
+	s.args = make([][]*tensor.Tensor, len(p.nodes))
+	for i := range p.nodes {
+		pn := &p.nodes[i]
+		s.outs[i] = tensor.FromData(slotBuf[pn.slot][:pn.elems:pn.elems], pn.outShape...)
+		a := make([]*tensor.Tensor, len(pn.args))
+		for ai, vr := range pn.args {
+			switch vr.kind {
+			case srcConst:
+				a[ai] = vr.tens
+			case srcNode:
+				a[ai] = s.outs[vr.node]
+			}
+		}
+		s.args[i] = a
+	}
+	s.results = make([]*tensor.Tensor, len(p.outputs))
+	s.pending = make([]int32, len(p.nodes))
+	if opts.Profile {
+		s.profile = make([]NodeProfile, len(p.nodes))
+	}
+	return s
+}
+
+// Profile returns the last Run's per-node profiles in schedule order, or
+// nil unless the session was created with Profile: true. The slice is
+// reused across Runs.
+func (s *Session) Profile() []NodeProfile { return s.profile }
+
+// Run executes the plan against the given feeds. The returned output
+// tensors are arena-backed: they are valid until the session's next Run
+// and must be copied to outlive it. The result slice itself is also reused
+// across Runs.
+func (s *Session) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	p := s.plan
+	for _, in := range p.inputs {
+		t, ok := feeds[in.name]
+		if !ok {
+			return nil, fmt.Errorf("runtime: input %q not fed", in.name)
+		}
+		if !t.Shape().Equal(in.shape) {
+			return nil, fmt.Errorf("runtime: input %q shape %v, want %v", in.name, t.Shape(), in.shape)
+		}
+	}
+	for _, fa := range p.feedArgs {
+		s.args[fa.node][fa.arg] = feeds[fa.name]
+	}
+
+	traceOn := obs.Enabled()
+	sp := obs.Start("runtime.execute")
+	if traceOn {
+		sp.SetAttrs(obs.KVInt("nodes", len(p.nodes)))
+		mArenaReused.Add(int64(p.interBytes - 4*p.arenaElems))
+	}
+	defer sp.End()
+
+	var err error
+	if s.concurrent {
+		err = s.runConcurrent(sp, traceOn)
+	} else {
+		for i := range p.nodes {
+			if err = s.runNode(int32(i), sp, traceOn); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for k, vr := range p.outputs {
+		switch vr.kind {
+		case srcNode:
+			s.results[k] = s.outs[vr.node]
+		case srcConst:
+			s.results[k] = vr.tens
+		case srcFeed:
+			s.results[k] = feeds[vr.name]
+		}
+	}
+	return s.results, nil
+}
+
+// runNode executes one scheduled node into its arena slot.
+func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool) error {
+	pn := &s.plan.nodes[i]
+	ins := s.args[i]
+	var nsp *obs.Span
+	if traceOn {
+		nsp = parent.Child("node:"+pn.name,
+			obs.KV("kind", pn.kind), obs.KV("device", pn.device.String()))
+	}
+	profiled := s.profile != nil
+	var start time.Time
+	if profiled || traceOn {
+		start = time.Now()
+	}
+	if pn.into != nil {
+		pn.into.ExecuteInto(s.outs[i], ins)
+	} else {
+		out := pn.op.Execute(ins)
+		if !out.Shape().Equal(pn.outShape) {
+			if traceOn {
+				nsp.End()
+			}
+			return fmt.Errorf("runtime: node %q produced %v, inferred %v", pn.name, out.Shape(), pn.outShape)
+		}
+		copy(s.outs[i].Data(), out.Data())
+	}
+	if profiled || traceOn {
+		wall := time.Since(start)
+		if traceOn {
+			nsp.SetAttrs(obs.KVInt("out_bytes", 4*pn.elems))
+			nsp.End()
+			obs.Observe("exec.node_wall_ns", float64(wall.Nanoseconds()))
+		}
+		if profiled {
+			s.profile[i] = NodeProfile{
+				Name: pn.name, Kind: pn.kind, Device: pn.device,
+				Wall: wall, OutBytes: 4 * pn.elems,
+			}
+		}
+	}
+	return nil
+}
+
+// runConcurrent dispatches nodes whose dependency count hits zero to a
+// bounded worker pool. Device semantics are honoured structurally: every
+// GPU-placed node goes through the GPU command-queue lane(s) (a single
+// in-order queue by default), CPU-fallback nodes run on the CPU pool and
+// overlap with the GPU, and device_copy nodes — placed on their consumer's
+// device — mark the queue-crossing points.
+func (s *Session) runConcurrent(sp *obs.Span, traceOn bool) error {
+	p := s.plan
+	n := len(p.nodes)
+	if n == 0 {
+		return nil
+	}
+	for i := range p.nodes {
+		s.pending[i] = p.nodes[i].pending
+	}
+	if traceOn && s.readyNs == nil {
+		s.readyNs = make([]int64, n)
+	}
+
+	gpuCh := make(chan int32, n)
+	cpuCh := make(chan int32, n)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+	var errMu sync.Mutex
+	var firstErr error
+	var remaining, inflight atomic.Int32
+	remaining.Store(int32(n))
+
+	enqueue := func(i int32) {
+		if traceOn {
+			s.readyNs[i] = time.Now().UnixNano()
+		}
+		if p.nodes[i].gpu {
+			gpuCh <- i
+		} else {
+			cpuCh <- i
+		}
+	}
+	worker := func(ch <-chan int32) {
+		for {
+			select {
+			case i := <-ch:
+				if traceOn {
+					mQueueWait.Observe(float64(time.Now().UnixNano() - s.readyNs[i]))
+					mParallelNodes.Observe(float64(inflight.Add(1)))
+				}
+				err := s.runNode(i, sp, traceOn)
+				if traceOn {
+					inflight.Add(-1)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					finish()
+					return
+				}
+				for _, c := range p.nodes[i].consumers {
+					if atomic.AddInt32(&s.pending[c], -1) == 0 {
+						enqueue(c)
+					}
+				}
+				if remaining.Add(-1) == 0 {
+					finish()
+				}
+			case <-done:
+				return
+			}
+		}
+	}
+
+	for i := range p.nodes {
+		if s.pending[i] == 0 {
+			enqueue(int32(i))
+		}
+	}
+	gpuWorkers := s.opts.GPUStreams
+	if gpuWorkers < 1 {
+		gpuWorkers = 1
+	}
+	cpuWorkers := s.opts.Workers
+	if cpuWorkers < 1 {
+		cpuWorkers = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(gpuWorkers + cpuWorkers)
+	for w := 0; w < gpuWorkers; w++ {
+		go func() { defer wg.Done(); worker(gpuCh) }()
+	}
+	for w := 0; w < cpuWorkers; w++ {
+		go func() { defer wg.Done(); worker(cpuCh) }()
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}

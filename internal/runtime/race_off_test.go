@@ -1,0 +1,5 @@
+//go:build !race
+
+package runtime_test
+
+const raceEnabled = false

@@ -1,17 +1,22 @@
-// Package runtime executes optimized computational graphs functionally —
-// the heterogeneous graph executor of the stack. Nodes tagged OnCPU and
-// OnGPU both run on the host here (the GPU is simulated; see internal/sim
-// for latency), but the executor honours the placement structurally:
-// device_copy nodes materialise buffer handoffs, and per-node profiles
-// record which device each operator was assigned to.
+// Package runtime executes optimized computational graphs — the
+// heterogeneous graph executor of the stack. Execution is split into a
+// one-time compilation step (NewPlan: validation, topological scheduling,
+// dependency counting, liveness-based arena-slot assignment) and a
+// reusable steady-state run loop (Plan.NewSession / Session.Run) that
+// performs zero heap allocations for intermediate tensors.
+//
+// Nodes tagged OnCPU and OnGPU both run on the host here (the GPU is
+// simulated; see internal/sim for latency), but the executor honours the
+// placement structurally: device_copy nodes materialise buffer handoffs,
+// GPU-placed nodes serialize through a simulated in-order command queue
+// under the concurrent scheduler, and per-node profiles record which
+// device each operator was assigned to.
 package runtime
 
 import (
-	"fmt"
 	"time"
 
 	"unigpu/internal/graph"
-	"unigpu/internal/obs"
 	"unigpu/internal/tensor"
 )
 
@@ -31,114 +36,21 @@ type Result struct {
 	PeakLive int // peak bytes of simultaneously live intermediate tensors
 }
 
-// Execute runs the graph on the given feeds (by input-node name). The
-// executor frees intermediate tensors as soon as their last consumer has
-// run (reference-counted memory planning).
+// Execute runs the graph on the given feeds (by input-node name) through a
+// throwaway single-run plan and session. It keeps the original one-shot
+// API — profiles always collected, PeakLive reported from the
+// reference-counted liveness analysis — but repeated inference should
+// compile once with NewPlan and reuse Sessions, which amortises planning
+// and reuses the arena across runs.
 func Execute(g *graph.Graph, feeds map[string]*tensor.Tensor) (*Result, error) {
-	// Per-node spans and the exec.node_wall_ns histogram are gated on the
-	// tracing flag so the disabled path stays allocation-free.
-	traceOn := obs.Enabled()
-	sp := obs.Start("runtime.execute")
-	if traceOn {
-		sp.SetAttrs(obs.KVInt("nodes", len(g.Nodes)))
-	}
-	defer sp.End()
-	if err := g.Validate(); err != nil {
+	plan, err := NewPlan(g)
+	if err != nil {
 		return nil, err
 	}
-	// Reference counts for memory planning.
-	refs := map[*graph.Node]int{}
-	for _, n := range g.Nodes {
-		for _, in := range n.Inputs {
-			refs[in]++
-		}
+	s := plan.NewSessionWith(SessionOptions{Profile: true})
+	outs, err := s.Run(feeds)
+	if err != nil {
+		return nil, err
 	}
-	for _, o := range g.Outputs {
-		refs[o]++ // outputs stay live
-	}
-
-	values := map[*graph.Node]*tensor.Tensor{}
-	live := 0
-	peak := 0
-	res := &Result{}
-
-	for _, n := range g.Nodes {
-		switch {
-		case n.IsConstant():
-			values[n] = n.Value
-		case n.IsInput():
-			t, ok := feeds[n.Name]
-			if !ok {
-				return nil, fmt.Errorf("runtime: input %q not fed", n.Name)
-			}
-			if !t.Shape().Equal(n.OutShape) {
-				return nil, fmt.Errorf("runtime: input %q shape %v, want %v", n.Name, t.Shape(), n.OutShape)
-			}
-			values[n] = t
-		default:
-			ins := make([]*tensor.Tensor, len(n.Inputs))
-			for i, in := range n.Inputs {
-				v, ok := values[in]
-				if !ok {
-					return nil, fmt.Errorf("runtime: node %q input %q has no value", n.Name, in.Name)
-				}
-				ins[i] = v
-			}
-			var nsp *obs.Span
-			if traceOn {
-				nsp = sp.Child("node:"+n.Name,
-					obs.KV("kind", n.Op.Kind()), obs.KV("device", n.Device.String()))
-			}
-			start := time.Now()
-			out := n.Op.Execute(ins)
-			wall := time.Since(start)
-			if traceOn {
-				nsp.SetAttrs(obs.KVInt("out_bytes", out.Bytes()))
-				nsp.End()
-				obs.Observe("exec.node_wall_ns", float64(wall.Nanoseconds()))
-			}
-			if !out.Shape().Equal(n.OutShape) {
-				return nil, fmt.Errorf("runtime: node %q produced %v, inferred %v", n.Name, out.Shape(), n.OutShape)
-			}
-			values[n] = out
-			live += out.Bytes()
-			if live > peak {
-				peak = live
-			}
-			res.Profile = append(res.Profile, NodeProfile{
-				Name: n.Name, Kind: n.Op.Kind(), Device: n.Device,
-				Wall: wall, OutBytes: out.Bytes(),
-			})
-			// Release inputs whose last consumer has run.
-			for _, in := range n.Inputs {
-				if in.Op == nil {
-					continue // feeds and constants are caller-owned
-				}
-				refs[in]--
-				if refs[in] == 0 {
-					live -= values[in].Bytes()
-					delete(values, in)
-				}
-			}
-			// A node with no consumers that is not a graph output dies
-			// immediately (dead branches the passes keep for profiling);
-			// without this its buffer stayed live to the end of the run and
-			// inflated live/PeakLive.
-			if refs[n] == 0 {
-				live -= out.Bytes()
-				delete(values, n)
-			}
-		}
-	}
-
-	res.PeakLive = peak
-	res.Outputs = make([]*tensor.Tensor, len(g.Outputs))
-	for i, o := range g.Outputs {
-		v, ok := values[o]
-		if !ok {
-			return nil, fmt.Errorf("runtime: output %q has no value", o.Name)
-		}
-		res.Outputs[i] = v
-	}
-	return res, nil
+	return &Result{Outputs: outs, Profile: s.Profile(), PeakLive: plan.PeakLiveBytes()}, nil
 }

@@ -1,0 +1,57 @@
+package tensor
+
+import "fmt"
+
+// Arena is a fixed-capacity bump allocator for tensor storage. A compiled
+// execution plan sizes one arena up front (static memory planning), carves
+// per-buffer slots out of it once, and then reuses the same storage on
+// every inference — the steady-state run loop never touches the heap for
+// intermediate tensors.
+//
+// An arena is not safe for concurrent allocation; allocate everything at
+// session-build time and only read/write the carved tensors afterwards.
+type Arena struct {
+	buf []float32
+	off int
+}
+
+// NewArena allocates an arena holding elems float32 values.
+func NewArena(elems int) *Arena {
+	return &Arena{buf: make([]float32, elems)}
+}
+
+// Alloc carves the next elems values off the arena. The returned slice has
+// full capacity equal to its length, so appends never bleed into the
+// neighbouring slot. Alloc panics when the arena is exhausted: plans size
+// arenas exactly, so running out is a planner bug, never a runtime
+// condition to handle.
+func (a *Arena) Alloc(elems int) []float32 {
+	if a.off+elems > len(a.buf) {
+		panic(fmt.Sprintf("tensor: arena exhausted: need %d elements, %d of %d left",
+			elems, len(a.buf)-a.off, len(a.buf)))
+	}
+	s := a.buf[a.off : a.off+elems : a.off+elems]
+	a.off += elems
+	return s
+}
+
+// Reset rewinds the arena so the storage can be carved again. Tensors
+// handed out before the reset alias any new allocations.
+func (a *Arena) Reset() { a.off = 0 }
+
+// Cap returns the arena capacity in elements.
+func (a *Arena) Cap() int { return len(a.buf) }
+
+// Used returns the number of elements allocated so far.
+func (a *Arena) Used() int { return a.off }
+
+// Bytes returns the arena capacity in bytes.
+func (a *Arena) Bytes() int { return 4 * len(a.buf) }
+
+// NewIn allocates an arena-backed tensor of the given shape: the pooled
+// counterpart of New. The tensor's storage lives inside the arena and is
+// reused (not zeroed) across arena resets.
+func NewIn(a *Arena, shape ...int) *Tensor {
+	n := Shape(shape).NumElements()
+	return FromData(a.Alloc(n), shape...)
+}

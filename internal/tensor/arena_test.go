@@ -1,0 +1,72 @@
+package tensor
+
+import "testing"
+
+func TestArenaCarvesDisjointSlots(t *testing.T) {
+	a := NewArena(10)
+	x := a.Alloc(4)
+	y := a.Alloc(6)
+	if a.Used() != 10 || a.Cap() != 10 || a.Bytes() != 40 {
+		t.Fatalf("used/cap/bytes = %d/%d/%d", a.Used(), a.Cap(), a.Bytes())
+	}
+	for i := range x {
+		x[i] = 1
+	}
+	for i := range y {
+		y[i] = 2
+	}
+	for i, v := range x {
+		if v != 1 {
+			t.Fatalf("slot x clobbered at %d: %v", i, v)
+		}
+	}
+	// Full-capacity slices: append must reallocate, never bleed into y.
+	x2 := append(x, 9)
+	if y[0] != 2 {
+		t.Fatalf("append into x bled into y: %v", y[0])
+	}
+	_ = x2
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena(4)
+	a.Alloc(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation must panic: plans size arenas exactly")
+		}
+	}()
+	a.Alloc(2)
+}
+
+func TestArenaResetReusesStorage(t *testing.T) {
+	a := NewArena(8)
+	x := a.Alloc(8)
+	x[0] = 7
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatalf("used after reset = %d", a.Used())
+	}
+	y := a.Alloc(8)
+	if &y[0] != &x[0] {
+		t.Fatal("reset must hand back the same storage")
+	}
+	if y[0] != 7 {
+		t.Fatal("reset must not zero the storage")
+	}
+}
+
+func TestNewInShapesArenaTensor(t *testing.T) {
+	a := NewArena(24)
+	tt := NewIn(a, 2, 3, 4)
+	if !tt.Shape().Equal(Shape{2, 3, 4}) {
+		t.Fatalf("shape %v", tt.Shape())
+	}
+	if a.Used() != 24 {
+		t.Fatalf("used = %d", a.Used())
+	}
+	tt.Set(5, 1, 2, 3)
+	if tt.At(1, 2, 3) != 5 {
+		t.Fatal("arena tensor must be addressable")
+	}
+}

@@ -19,10 +19,18 @@
 //	cm, err := eng.Compile("ResNet50_v1", unigpu.DeepLens, unigpu.CompileOptions{})
 //	out, err := cm.Run(input)          // functional inference
 //	ms := cm.PredictedLatencyMs        // simulated device latency
+//
+// Repeated inference should open a Session, which executes a compiled
+// plan with pooled arena memory (zero steady-state allocations) and
+// optional concurrent node dispatch:
+//
+//	sess, err := cm.NewSession()
+//	out, err := sess.Run(input)        // out valid until the next sess.Run
 package unigpu
 
 import (
 	"fmt"
+	"sync"
 
 	"unigpu/internal/autotvm"
 	"unigpu/internal/bench"
@@ -158,7 +166,10 @@ type CompiledModel struct {
 	// CopiesInserted counts device_copy nodes from the placement pass.
 	CopiesInserted int
 
-	model *models.Model
+	model    *models.Model
+	planOnce sync.Once
+	plan     *runtime.Plan
+	planErr  error
 }
 
 // Compile builds, graph-optimizes, places, tunes and prices a model. The
@@ -237,8 +248,62 @@ func (cm *CompiledModel) InputShape() []int {
 	return []int{1, 3, s, s}
 }
 
+// Plan returns the model's compiled execution plan (topological schedule,
+// dependency counts, arena-slot assignment), building it on first use. The
+// plan is immutable and shared by every session of this model.
+func (cm *CompiledModel) Plan() (*runtime.Plan, error) {
+	cm.planOnce.Do(func() {
+		cm.plan, cm.planErr = runtime.NewPlan(cm.model.Graph)
+	})
+	return cm.plan, cm.planErr
+}
+
+// SessionOptions configures one inference session (see runtime.SessionOptions).
+type SessionOptions = runtime.SessionOptions
+
+// Session is a reusable inference loop over the model's compiled plan. It
+// owns a preallocated arena for every intermediate tensor, so steady-state
+// Run calls perform no heap allocations for intermediates. A Session is
+// not safe for concurrent use; open one Session per goroutine — they share
+// the plan and each costs only its arena.
+type Session struct {
+	sess  *runtime.Session
+	feeds map[string]*tensor.Tensor
+}
+
+// NewSession opens a serial zero-allocation inference session.
+func (cm *CompiledModel) NewSession() (*Session, error) {
+	return cm.NewSessionWith(SessionOptions{})
+}
+
+// NewSessionWith opens a session with explicit scheduling options
+// (concurrent worker pool, simulated GPU command-queue streams, profiling).
+func (cm *CompiledModel) NewSessionWith(opts SessionOptions) (*Session, error) {
+	plan, err := cm.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		sess:  plan.NewSessionWith(opts),
+		feeds: map[string]*tensor.Tensor{},
+	}, nil
+}
+
+// Run executes one inference. The returned tensor is arena-backed: it is
+// valid until this session's next Run and must be copied to outlive it.
+func (s *Session) Run(input *Tensor) (*Tensor, error) {
+	s.feeds["data"] = input
+	outs, err := s.sess.Run(s.feeds)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
 // Run executes the compiled model functionally on the host and returns the
 // output tensor (class probabilities, or detections [class, score, box]).
+// Each call runs a throwaway session; for repeated inference use
+// NewSession, which reuses the arena and skips per-call planning.
 func (cm *CompiledModel) Run(input *Tensor) (*Tensor, error) {
 	res, err := runtime.Execute(cm.model.Graph, map[string]*tensor.Tensor{"data": input})
 	if err != nil {
