@@ -22,10 +22,12 @@ verify:
 	$(GO) test -race ./...
 
 # bench runs the runtime + ops benchmarks (session hot path, pooled
-# kernels, dispatch overhead) and archives them as BENCH_runtime.json.
+# kernels, per-kernel conv comparisons, dispatch overhead), archives them
+# as BENCH_runtime.json, and fails if the steady-state serial session run
+# regresses above zero allocations per op.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 20x ./internal/runtime ./internal/ops | tee bench.out
-	$(GO) run ./cmd/bench2json -in bench.out -out BENCH_runtime.json
+	$(GO) run ./cmd/bench2json -in bench.out -out BENCH_runtime.json -maxallocs 'BenchmarkSessionRun=0'
 
 # trace produces a sample Chrome trace + metrics dump from a quick run.
 trace:

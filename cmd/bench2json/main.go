@@ -1,6 +1,9 @@
 // Command bench2json converts `go test -bench -benchmem` text output into
 // machine-readable JSON, so CI can archive benchmark results (make bench
-// writes BENCH_runtime.json) and successive runs can be diffed.
+// writes BENCH_runtime.json) and successive runs can be diffed. It can also
+// gate on allocation regressions: -maxallocs "BenchmarkSessionRun=0" exits
+// non-zero if the named benchmark reports more allocs/op than allowed (or
+// is missing from the input entirely).
 package main
 
 import (
@@ -21,6 +24,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g. "flops").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the whole report.
@@ -35,6 +40,8 @@ func main() {
 	log.SetFlags(0)
 	in := flag.String("in", "", "benchmark text output to parse (default stdin)")
 	out := flag.String("out", "BENCH_runtime.json", "JSON file to write")
+	maxAllocs := flag.String("maxallocs", "",
+		`comma-separated allocation gates, e.g. "BenchmarkSessionRun=0"; a named benchmark exceeding its limit (or absent from the input) fails the run`)
 	flag.Parse()
 
 	r := os.Stdin
@@ -74,15 +81,62 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+	if *out != "" && *out != "/dev/null" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bench2json: %d results -> %s\n", len(file.Results), *out)
 	}
-	fmt.Printf("bench2json: %d results -> %s\n", len(file.Results), *out)
+	if errs := checkAllocGates(*maxAllocs, file.Results); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "bench2json:", e)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkAllocGates enforces "Name=maxAllocs" specs against the parsed
+// results. A spec matches a benchmark named exactly Name or any of its
+// variants Name-<procs> / Name/<sub-benchmark>. A spec that matches
+// nothing is itself an error — a silently renamed benchmark must not
+// disable its gate.
+func checkAllocGates(specs string, results []Result) []string {
+	var errs []string
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, limitStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			errs = append(errs, fmt.Sprintf("bad -maxallocs entry %q (want Name=limit)", spec))
+			continue
+		}
+		limit, err := strconv.ParseInt(limitStr, 10, 64)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("bad -maxallocs limit in %q: %v", spec, err))
+			continue
+		}
+		matched := false
+		for _, r := range results {
+			if r.Name != name && !strings.HasPrefix(r.Name, name+"-") && !strings.HasPrefix(r.Name, name+"/") {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp > limit {
+				errs = append(errs, fmt.Sprintf("%s: %d allocs/op exceeds limit %d", r.Name, r.AllocsPerOp, limit))
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Sprintf("gate %q matched no benchmark in the input", name))
+		}
+	}
+	return errs
 }
 
 // parseLine parses e.g.
 //
-//	BenchmarkSessionRun  50  65209 ns/op  0 B/op  0 allocs/op
+//	BenchmarkSessionRun  50  65209 ns/op  123 flops  0 B/op  0 allocs/op
 func parseLine(line string) (Result, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || f[3] != "ns/op" {
@@ -95,15 +149,20 @@ func parseLine(line string) (Result, bool) {
 	}
 	res := Result{Name: f[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
 		switch f[i+1] {
 		case "B/op":
-			res.BytesPerOp = v
+			res.BytesPerOp = int64(v)
 		case "allocs/op":
-			res.AllocsPerOp = v
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[f[i+1]] = v
 		}
 	}
 	return res, true

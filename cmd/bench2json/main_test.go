@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLineMetrics(t *testing.T) {
+	res, ok := parseLine("BenchmarkConvKernels/resnet50_c64/gemm-8  20  716360 ns/op  231211008 flops  0 B/op  0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.Name != "BenchmarkConvKernels/resnet50_c64/gemm-8" || res.Iterations != 20 {
+		t.Fatalf("parsed %+v", res)
+	}
+	if res.Metrics["flops"] != 231211008 {
+		t.Fatalf("flops metric = %v", res.Metrics["flops"])
+	}
+	if res.BytesPerOp != 0 || res.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields: %+v", res)
+	}
+}
+
+func TestCheckAllocGates(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkSessionRun-8", AllocsPerOp: 0},
+		{Name: "BenchmarkSessionRunConcurrent-8", AllocsPerOp: 40},
+		{Name: "BenchmarkOther-8", AllocsPerOp: 7},
+	}
+	if errs := checkAllocGates("BenchmarkSessionRun=0", results); len(errs) != 0 {
+		t.Fatalf("clean gate failed: %v", errs)
+	}
+	// Note: SessionRunConcurrent does not match gate SessionRun (no "-" or
+	// "/" boundary), so only the serial benchmark is gated above.
+	if errs := checkAllocGates("BenchmarkOther=0", results); len(errs) != 1 {
+		t.Fatalf("violation not reported: %v", errs)
+	}
+	if errs := checkAllocGates("BenchmarkMissing=0", results); len(errs) != 1 {
+		t.Fatalf("missing benchmark must fail the gate: %v", errs)
+	}
+	if errs := checkAllocGates("junk", results); len(errs) != 1 {
+		t.Fatalf("malformed spec must error: %v", errs)
+	}
+	if errs := checkAllocGates("", results); len(errs) != 0 {
+		t.Fatalf("empty spec must pass: %v", errs)
+	}
+}

@@ -8,18 +8,25 @@ import (
 	"log"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"unigpu"
 	"unigpu/internal/autotvm"
 	"unigpu/internal/bench"
+	"unigpu/internal/graph"
+	"unigpu/internal/models"
 	"unigpu/internal/obs"
+	"unigpu/internal/ops"
+	"unigpu/internal/runtime"
+	"unigpu/internal/sim"
+	"unigpu/internal/tensor"
 )
 
 func main() {
 	log.SetFlags(0)
-	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,kernels,all")
 	jsonPath := flag.String("json", "", "also write Tables 1-3 results as machine-readable JSON to this file")
 	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule searches)")
 	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
@@ -95,6 +102,9 @@ func main() {
 		irL, cuL, clL := bench.IRSizeExperiment()
 		fmt.Printf("vision pipeline in unified IR: %d lines -> %d CUDA + %d OpenCL lines\n", irL, cuL, clL)
 		return
+	case "kernels":
+		kernelsTable()
+		return
 	}
 	switch *table {
 	case "1", "2", "3":
@@ -118,6 +128,77 @@ func main() {
 		r := e.FallbackExperiment()
 		fmt.Printf("\nFallback: all-GPU %.2f ms, fallback %.2f ms, overhead %.2f%%\n", r.AllGPUMs, r.FallbackMs, r.OverheadPct)
 	}
+}
+
+// kernelsTable measures real wall-clock inference per zoo model with every
+// convolution forced to the direct kernel versus the cost-model selection
+// (GEMM/depthwise/direct; Winograd stays off so outputs are bit-identical),
+// and prints the selection breakdown. This is the source of the
+// EXPERIMENTS.md "Convolution kernel selection" table. Inputs are shrunk
+// from the paper sizes so the table regenerates in seconds on a laptop.
+func kernelsTable() {
+	sizes := []struct {
+		name string
+		size int
+	}{
+		{"ResNet50_v1", 96}, {"MobileNet1.0", 96}, {"SqueezeNet1.0", 96},
+		{"SSD_MobileNet1.0", 128}, {"SSD_ResNet50", 128}, {"Yolov3", 96},
+	}
+	run := func(g *modelPlanInput) float64 {
+		plan, err := runtime.NewPlan(g.graph)
+		if err != nil {
+			log.Fatalf("plan: %v", err)
+		}
+		s := plan.NewSession()
+		if _, err := s.Run(g.feeds); err != nil { // warm-up
+			log.Fatalf("run: %v", err)
+		}
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if _, err := s.Run(g.feeds); err != nil {
+				log.Fatalf("run: %v", err)
+			}
+			if ms := float64(time.Since(t0).Microseconds()) / 1e3; rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		return best
+	}
+	fmt.Println("Convolution kernel selection: direct-only vs selected (wall clock, Winograd off)")
+	fmt.Printf("%-18s %6s %12s %12s %8s  %s\n", "model", "size", "direct ms", "selected ms", "speedup", "selection")
+	for _, mc := range sizes {
+		direct := buildModelPlanInput(mc.name, mc.size)
+		graph.ForceConvKernel(direct.graph, ops.KernelDirect)
+		directMs := run(direct)
+
+		selected := buildModelPlanInput(mc.name, mc.size)
+		counts := graph.SelectConvKernels(selected.graph, graph.KernelSelection{Device: sim.IntelHD505})
+		selectedMs := run(selected)
+
+		parts := make([]string, 0, len(counts))
+		for _, k := range ops.ConvKernels {
+			if counts[k] > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", k, counts[k]))
+			}
+		}
+		fmt.Printf("%-18s %6d %12.2f %12.2f %7.2fx  %s\n",
+			mc.name, mc.size, directMs, selectedMs, directMs/selectedMs, strings.Join(parts, " "))
+	}
+}
+
+// modelPlanInput pairs an optimized model graph with its input feeds.
+type modelPlanInput struct {
+	graph *graph.Graph
+	feeds map[string]*tensor.Tensor
+}
+
+func buildModelPlanInput(name string, size int) *modelPlanInput {
+	m := models.Build(name, size, false)
+	graph.Optimize(m.Graph)
+	feed := tensor.New(1, 3, size, size)
+	feed.FillRandom(7)
+	return &modelPlanInput{graph: m.Graph, feeds: map[string]*tensor.Tensor{"data": feed}}
 }
 
 // serve runs the concurrent-client throughput benchmark: one compiled

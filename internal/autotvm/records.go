@@ -28,6 +28,12 @@ type DB struct {
 // rather than a single searched schedule.
 const KindCandidates = "candidates"
 
+// KindKernel marks a record holding a conv algorithm choice (direct /
+// depthwise / winograd / gemm) for a workload, as written by the graph
+// kernel-selection pass and consulted on later compiles to override the
+// cost model.
+const KindKernel = "kernel"
+
 // StoredCandidate is one per-layout (block, schedule) choice of a
 // graph-tuner search, mirroring graphtuner.Candidate without importing it.
 type StoredCandidate struct {
@@ -49,6 +55,8 @@ type StoredRecord struct {
 	// early search never permanently shadows a better one.
 	Budget     int               `json:"budget,omitempty"`
 	Candidates []StoredCandidate `json:"candidates,omitempty"`
+	// Kernel is the conv algorithm name of a KindKernel record.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 func (r StoredRecord) key() string {
@@ -238,6 +246,32 @@ func (db *DB) StoreCandidates(device, workload string, budget int, cands []Store
 		Kind:       KindCandidates,
 		Budget:     budget,
 		Candidates: stored,
+	}
+}
+
+// LookupKernelChoice returns the stored conv algorithm name for a
+// (device, workload) pair, if a kernel record exists.
+func (db *DB) LookupKernelChoice(device, workload string) (string, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.records[device+"|"+KindKernel+"|"+workload]
+	if !ok || r.Kernel == "" {
+		return "", false
+	}
+	return r.Kernel, true
+}
+
+// StoreKernelChoice records the conv algorithm chosen for a (device,
+// workload) pair together with its estimated per-invocation cost.
+func (db *DB) StoreKernelChoice(device, workload, kernel string, ms float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records[device+"|"+KindKernel+"|"+workload] = StoredRecord{
+		Device:   device,
+		Workload: workload,
+		Kind:     KindKernel,
+		Kernel:   kernel,
+		Ms:       ms,
 	}
 }
 

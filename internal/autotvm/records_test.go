@@ -188,3 +188,49 @@ func TestStoreBestConcurrent(t *testing.T) {
 		t.Fatalf("best result must survive concurrent stores, got %.3f ok=%v", r.Ms, ok)
 	}
 }
+
+// TestKernelChoiceRecordsRoundTrip: conv algorithm records live under their
+// own kind key — they never collide with schedule or candidate records for
+// the same workload — and survive the disk round-trip.
+func TestKernelChoiceRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.json")
+	db := NewDB(path)
+
+	db.StoreKernelChoice("dev", "wl", "gemm", 0.42)
+	if name, ok := db.LookupKernelChoice("dev", "wl"); !ok || name != "gemm" {
+		t.Fatalf("lookup = %q, %v", name, ok)
+	}
+	if _, ok := db.LookupKernelChoice("otherdev", "wl"); ok {
+		t.Fatal("different device must miss")
+	}
+
+	// Kernel, candidate, and schedule records share a workload key space
+	// without clobbering each other.
+	task := testTask()
+	db.StoreKernelChoice(task.Device.Name, task.Workload.Key(), "winograd", 0.2)
+	db.Store(task, Result{Ms: 0.25, Trials: 8})
+	db.StoreCandidates(task.Device.Name, task.Workload.Key(), 8, nil)
+	if _, ok := db.Lookup(task); !ok {
+		t.Fatal("schedule record lost after StoreKernelChoice on the same workload")
+	}
+	if name, ok := db.LookupKernelChoice(task.Device.Name, task.Workload.Key()); !ok || name != "winograd" {
+		t.Fatalf("kernel record lost: %q, %v", name, ok)
+	}
+
+	// A newer choice replaces the old one.
+	db.StoreKernelChoice("dev", "wl", "direct", 0.9)
+	if name, _ := db.LookupKernelChoice("dev", "wl"); name != "direct" {
+		t.Fatalf("re-store did not replace: %q", name)
+	}
+
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, ok := db2.LookupKernelChoice("dev", "wl"); !ok || name != "direct" {
+		t.Fatalf("kernel record did not survive the disk round-trip: %q, %v", name, ok)
+	}
+}

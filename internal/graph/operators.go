@@ -12,25 +12,47 @@ import (
 // pipelines) keep the allocating Execute path.
 
 // ConvOp is a 2-D convolution; inputs: data, weight[, bias].
-type ConvOp struct{ W ops.ConvWorkload }
+//
+// Kernel is the algorithm the kernel-selection pass (SelectConvKernels)
+// chose for this workload; KernelAuto falls back to ops.DefaultKernel. The
+// runtime prepacks weights for the effective kernel at plan time; the
+// Execute/ExecuteInto paths prepare on the fly so the reference executor
+// and the plan run the identical algorithm (and hence produce identical
+// bits).
+type ConvOp struct {
+	W      ops.ConvWorkload
+	Kernel ops.ConvKernel
+}
 
 func (o *ConvOp) Kind() string { return "conv2d" }
+
+// EffectiveKernel resolves KernelAuto and unsupported choices to the
+// concrete kernel that will actually run.
+func (o *ConvOp) EffectiveKernel() ops.ConvKernel {
+	k := o.Kernel
+	if k == ops.KernelAuto {
+		k = ops.DefaultKernel(o.W)
+	}
+	if !ops.KernelSupported(k, o.W) {
+		k = ops.KernelDirect
+	}
+	return k
+}
+
 func (o *ConvOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return tensor.Shape{o.W.N, o.W.COut, o.W.OutH(), o.W.OutW()}
 }
 func (o *ConvOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
-	var bias *tensor.Tensor
-	if len(ins) > 2 {
-		bias = ins[2]
-	}
-	return ops.Conv2D(ins[0], ins[1], bias, o.W)
+	out := tensor.New(o.W.N, o.W.COut, o.W.OutH(), o.W.OutW())
+	o.ExecuteInto(out, ins)
+	return out
 }
 func (o *ConvOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 	var bias *tensor.Tensor
 	if len(ins) > 2 {
 		bias = ins[2]
 	}
-	ops.Conv2DInto(out, ins[0], ins[1], bias, o.W)
+	ops.PrepareConv(o.W, o.Kernel, ins[1]).RunInto(out, ins[0], bias, nil)
 }
 func (o *ConvOp) GPUFriendly() bool { return true }
 

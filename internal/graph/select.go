@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"unigpu/internal/autotvm"
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+)
+
+// KernelSelection configures the conv algorithm-selection pass.
+type KernelSelection struct {
+	// Device drives the roofline cost model (sim.Device.AlgoSeconds); nil
+	// falls back to the shape heuristic ops.DefaultKernel.
+	Device *sim.Device
+	// DB, when non-nil, is consulted first: a KindKernel record for the
+	// (device, workload) pair overrides the cost model, and cost-model
+	// decisions are written back so later compiles replay them.
+	DB *autotvm.DB
+	// AllowWinograd permits the F(2x2,3x3) kernel, which reassociates the
+	// reduction and so changes numerics (~1e-4 vs direct). Off by default:
+	// without it every selectable kernel is bit-identical to direct, so
+	// whole-model golden outputs are unchanged by selection.
+	AllowWinograd bool
+}
+
+// candidateKernels returns the kernels the selector may choose for w.
+func (sel KernelSelection) candidateKernels(w ops.ConvWorkload) []ops.ConvKernel {
+	cands := make([]ops.ConvKernel, 0, 4)
+	for _, k := range ops.ConvKernels {
+		if !ops.KernelSupported(k, w) {
+			continue
+		}
+		if k == ops.KernelWinograd && !sel.AllowWinograd {
+			continue
+		}
+		cands = append(cands, k)
+	}
+	return cands
+}
+
+// pick returns the chosen kernel for w plus its estimated milliseconds
+// (NaN-free; 0 when no cost model is configured).
+func (sel KernelSelection) pick(w ops.ConvWorkload) (ops.ConvKernel, float64) {
+	if sel.DB != nil && sel.Device != nil {
+		if name, ok := sel.DB.LookupKernelChoice(sel.Device.Name, w.Key()); ok {
+			if k, ok := ops.ParseConvKernel(name); ok && k != ops.KernelAuto &&
+				ops.KernelSupported(k, w) && (k != ops.KernelWinograd || sel.AllowWinograd) {
+				return k, 0
+			}
+		}
+	}
+	if sel.Device == nil {
+		return ops.DefaultKernel(w), 0
+	}
+	best, bestSec := ops.KernelDirect, 0.0
+	for i, k := range sel.candidateKernels(w) {
+		flops, bytes, eff := ops.KernelProfile(w, k)
+		sec := sel.Device.AlgoSeconds(flops, bytes, eff)
+		if i == 0 || sec < bestSec {
+			best, bestSec = k, sec
+		}
+	}
+	return best, bestSec * 1e3
+}
+
+// SelectConvKernels assigns a concrete algorithm to every convolution in
+// the graph — the per-workload analogue of the paper's per-workload
+// schedule selection — and returns how many convs each kernel got. Choices
+// made by the cost model are recorded in sel.DB (KindKernel records) so
+// subsequent compiles, and external tools editing the database, can pin
+// them.
+func SelectConvKernels(g *Graph, sel KernelSelection) map[ops.ConvKernel]int {
+	counts := map[ops.ConvKernel]int{}
+	for _, n := range g.Nodes {
+		convOp, ok := opAs[*ConvOp](n)
+		if !ok {
+			continue
+		}
+		k, ms := sel.pick(convOp.W)
+		convOp.Kernel = k
+		counts[k]++
+		if sel.DB != nil && sel.Device != nil {
+			// Record cost-model decisions, but never clobber an existing
+			// kernel record — it may be a pinned choice this pass merely
+			// gated out (e.g. a winograd record with AllowWinograd off).
+			if _, exists := sel.DB.LookupKernelChoice(sel.Device.Name, convOp.W.Key()); !exists {
+				sel.DB.StoreKernelChoice(sel.Device.Name, convOp.W.Key(), k.String(), ms)
+			}
+		}
+	}
+	return counts
+}
+
+// ForceConvKernel sets every conv in the graph to kernel k (falling back
+// to direct where k is unsupported) and returns the number of convs
+// touched. Benchmarks and ablations use it to compare algorithms on the
+// same model.
+func ForceConvKernel(g *Graph, k ops.ConvKernel) int {
+	n := 0
+	for _, node := range g.Nodes {
+		convOp, ok := opAs[*ConvOp](node)
+		if !ok {
+			continue
+		}
+		if ops.KernelSupported(k, convOp.W) {
+			convOp.Kernel = k
+		} else {
+			convOp.Kernel = ops.KernelDirect
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"testing"
+
+	"unigpu/internal/autotvm"
+	"unigpu/internal/ops"
+	"unigpu/internal/sim"
+	"unigpu/internal/tensor"
+)
+
+func buildSelectGraph() (*Graph, *Node, *Node, *Node) {
+	g := New()
+	in := g.Input("data", 1, 64, 56, 56)
+	w3 := ops.ConvWorkload{N: 1, CIn: 64, COut: 64, H: 56, W: 56, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	c3 := g.Apply("c3", &ConvOp{W: w3}, in, g.Constant("w3", tensor.New(64, 64, 3, 3)))
+	wdw := ops.ConvWorkload{N: 1, CIn: 64, COut: 64, H: 56, W: 56, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 64}
+	cdw := g.Apply("cdw", &ConvOp{W: wdw}, c3, g.Constant("wdw", tensor.New(64, 1, 3, 3)))
+	w1 := ops.ConvWorkload{N: 1, CIn: 64, COut: 128, H: 56, W: 56, KH: 1, KW: 1,
+		StrideH: 2, StrideW: 2}
+	c1 := g.Apply("c1", &ConvOp{W: w1}, cdw, g.Constant("w1", tensor.New(128, 64, 1, 1)))
+	g.SetOutputs(c1)
+	return g, c3, cdw, c1
+}
+
+// TestSelectConvKernels: the roofline cost model sends large 3x3 stride-1
+// convs to GEMM, depthwise convs to the depthwise kernel, and never picks
+// Winograd unless allowed.
+func TestSelectConvKernels(t *testing.T) {
+	g, c3, cdw, c1 := buildSelectGraph()
+	counts := SelectConvKernels(g, KernelSelection{Device: sim.IntelHD505})
+	if got := opMust[*ConvOp](t, c3).Kernel; got != ops.KernelGEMM {
+		t.Fatalf("3x3 s1 conv got %v, want gemm", got)
+	}
+	if got := opMust[*ConvOp](t, cdw).Kernel; got != ops.KernelDepthwise {
+		t.Fatalf("depthwise conv got %v, want depthwise", got)
+	}
+	if got := opMust[*ConvOp](t, c1).Kernel; got != ops.KernelGEMM {
+		t.Fatalf("1x1 s2 conv got %v, want gemm", got)
+	}
+	if counts[ops.KernelWinograd] != 0 {
+		t.Fatal("winograd selected without AllowWinograd")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("selected %d convs, want 3", total)
+	}
+}
+
+// TestSelectConvKernelsWinogradOptIn: with AllowWinograd the 2.25x multiply
+// saving makes F(2x2,3x3) win the big stride-1 conv; unsupported shapes
+// (depthwise, 1x1 stride-2) are untouched by it.
+func TestSelectConvKernelsWinogradOptIn(t *testing.T) {
+	g, c3, cdw, c1 := buildSelectGraph()
+	SelectConvKernels(g, KernelSelection{Device: sim.IntelHD505, AllowWinograd: true})
+	if got := opMust[*ConvOp](t, c3).Kernel; got != ops.KernelWinograd {
+		t.Fatalf("3x3 s1 conv got %v, want winograd", got)
+	}
+	if got := opMust[*ConvOp](t, cdw).Kernel; got == ops.KernelWinograd {
+		t.Fatal("winograd selected for a depthwise conv")
+	}
+	if got := opMust[*ConvOp](t, c1).Kernel; got == ops.KernelWinograd {
+		t.Fatal("winograd selected for a 1x1 conv")
+	}
+}
+
+// TestSelectConvKernelsDBOverride: a KindKernel tuning record pins the
+// choice regardless of what the cost model prefers, and model-made choices
+// are written back to the database.
+func TestSelectConvKernelsDBOverride(t *testing.T) {
+	g, c3, _, _ := buildSelectGraph()
+	dev := sim.IntelHD505
+	db := autotvm.NewDB("")
+	w := opMust[*ConvOp](t, c3).W
+	db.StoreKernelChoice(dev.Name, w.Key(), "direct", 1.0)
+
+	SelectConvKernels(g, KernelSelection{Device: dev, DB: db})
+	if got := opMust[*ConvOp](t, c3).Kernel; got != ops.KernelDirect {
+		t.Fatalf("DB override ignored: got %v, want direct", got)
+	}
+	// The other convs' model decisions were recorded.
+	wdw := ops.ConvWorkload{N: 1, CIn: 64, COut: 64, H: 56, W: 56, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 64}
+	if name, ok := db.LookupKernelChoice(dev.Name, wdw.Key()); !ok || name != "depthwise" {
+		t.Fatalf("depthwise decision not recorded: %q, %v", name, ok)
+	}
+}
+
+// TestSelectConvKernelsDBWinogradGate: a stored winograd record must not
+// leak through when AllowWinograd is off — selection falls back to the
+// cost model.
+func TestSelectConvKernelsDBWinogradGate(t *testing.T) {
+	g, c3, _, _ := buildSelectGraph()
+	dev := sim.IntelHD505
+	db := autotvm.NewDB("")
+	db.StoreKernelChoice(dev.Name, opMust[*ConvOp](t, c3).W.Key(), "winograd", 1.0)
+
+	SelectConvKernels(g, KernelSelection{Device: dev, DB: db})
+	if got := opMust[*ConvOp](t, c3).Kernel; got == ops.KernelWinograd {
+		t.Fatal("winograd DB record honoured despite AllowWinograd=false")
+	}
+	SelectConvKernels(g, KernelSelection{Device: dev, DB: db, AllowWinograd: true})
+	if got := opMust[*ConvOp](t, c3).Kernel; got != ops.KernelWinograd {
+		t.Fatalf("winograd DB record ignored with AllowWinograd=true: got %v", got)
+	}
+}
+
+// TestForceConvKernel: the ablation helper sets every conv, falling back
+// to direct where the kernel does not apply.
+func TestForceConvKernel(t *testing.T) {
+	g, c3, cdw, c1 := buildSelectGraph()
+	if n := ForceConvKernel(g, ops.KernelWinograd); n != 3 {
+		t.Fatalf("touched %d convs, want 3", n)
+	}
+	if got := opMust[*ConvOp](t, c3).Kernel; got != ops.KernelWinograd {
+		t.Fatalf("3x3 s1 conv got %v, want winograd", got)
+	}
+	if got := opMust[*ConvOp](t, cdw).Kernel; got != ops.KernelDirect {
+		t.Fatalf("depthwise conv got %v, want direct fallback", got)
+	}
+	if got := opMust[*ConvOp](t, c1).Kernel; got != ops.KernelDirect {
+		t.Fatalf("1x1 s2 conv got %v, want direct fallback", got)
+	}
+}
+
+// TestSelectWithoutDevice: with no cost model the shape heuristic applies.
+func TestSelectWithoutDevice(t *testing.T) {
+	g, c3, cdw, _ := buildSelectGraph()
+	SelectConvKernels(g, KernelSelection{})
+	if got := opMust[*ConvOp](t, c3).Kernel; got != ops.KernelGEMM {
+		t.Fatalf("heuristic gave %v for 3x3 s1, want gemm", got)
+	}
+	if got := opMust[*ConvOp](t, cdw).Kernel; got != ops.KernelDepthwise {
+		t.Fatalf("heuristic gave %v for depthwise, want depthwise", got)
+	}
+}
+
+func opMust[T Operator](t *testing.T, n *Node) T {
+	t.Helper()
+	op, ok := opAs[T](n)
+	if !ok {
+		t.Fatalf("node %q is not a %T", n.Name, op)
+	}
+	return op
+}

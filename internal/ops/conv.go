@@ -19,6 +19,12 @@ func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
 
 // Conv2DInto is Conv2D computing into a caller-provided output tensor of
 // shape (N, COut, OutH, OutW); it allocates no intermediate storage.
+//
+// Boundary checks are hoisted out of the tap loop: for each output row the
+// in-bounds ky range is computed once, and for each output pixel the
+// in-bounds kx range is computed once, so the inner loop runs branch-free.
+// Taps still accumulate in ascending (ci, ky, kx) order, which keeps the
+// result bit-identical to the naive per-tap-branching loop.
 func Conv2DInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
 	oh, ow := w.OutH(), w.OutW()
 	g := max(1, w.Groups)
@@ -43,22 +49,20 @@ func Conv2DInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
 			b = bd[co]
 		}
 		for y := 0; y < oh; y++ {
+			iy0 := y*w.StrideH - w.PadH
+			ky0, ky1 := clampKernelRange(iy0, w.H, w.KH)
 			for x := 0; x < ow; x++ {
+				ix0 := x*w.StrideW - w.PadW
+				kx0, kx1 := clampKernelRange(ix0, w.W, w.KW)
 				sum := b
 				for ci := 0; ci < cinPerG; ci++ {
 					wBase := ((co * cinPerG) + ci) * w.KH * w.KW
-					iBase := (n*w.CIn + ciBase + ci) * w.H * w.W
-					for ky := 0; ky < w.KH; ky++ {
-						iy := y*w.StrideH - w.PadH + ky
-						if iy < 0 || iy >= w.H {
-							continue
-						}
-						for kx := 0; kx < w.KW; kx++ {
-							ix := x*w.StrideW - w.PadW + kx
-							if ix < 0 || ix >= w.W {
-								continue
-							}
-							sum += ind[iBase+iy*w.W+ix] * wd[wBase+ky*w.KW+kx]
+					iBase := (n*w.CIn+ciBase+ci)*w.H*w.W + ix0
+					for ky := ky0; ky < ky1; ky++ {
+						iRow := iBase + (iy0+ky)*w.W
+						wRow := wBase + ky*w.KW
+						for kx := kx0; kx < kx1; kx++ {
+							sum += ind[iRow+kx] * wd[wRow+kx]
 						}
 					}
 				}
@@ -66,6 +70,22 @@ func Conv2DInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
 			}
 		}
 	})
+}
+
+// clampKernelRange returns the half-open [k0,k1) kernel-tap range for which
+// base+k lands inside [0,size), given kernel extent kext.
+func clampKernelRange(base, size, kext int) (int, int) {
+	k0, k1 := 0, kext
+	if base < 0 {
+		k0 = -base
+	}
+	if base+kext > size {
+		k1 = size - base
+	}
+	if k1 < k0 {
+		k1 = k0
+	}
+	return k0, k1
 }
 
 func applyActivation(v float32, a Activation) float32 {

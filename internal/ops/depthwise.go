@@ -1,0 +1,57 @@
+package ops
+
+import "unigpu/internal/tensor"
+
+// Conv2DDepthwise computes a depthwise convolution (Groups == CIn == COut),
+// one filter per channel. It avoids the grouped general path's per-group
+// channel arithmetic entirely: each (n, c) job reads one input plane and one
+// KHxKW filter.
+func Conv2DDepthwise(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
+	out := tensor.New(w.N, w.COut, w.OutH(), w.OutW())
+	Conv2DDepthwiseInto(out, in, weight, bias, w)
+	return out
+}
+
+// Conv2DDepthwiseInto is Conv2DDepthwise computing into a caller-provided
+// (N, COut, OutH, OutW) tensor. Taps accumulate in ascending (ky, kx) order
+// with the bias as the initial value, so results are bit-identical to the
+// direct kernel.
+func Conv2DDepthwiseInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
+	oh, ow := w.OutH(), w.OutW()
+	ind := in.Data()
+	wd := weight.Data()
+	od := out.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	parallelFor(w.N*w.COut, func(job int) {
+		n := job / w.COut
+		c := job % w.COut
+		var b float32
+		if bd != nil {
+			b = bd[c]
+		}
+		wBase := c * w.KH * w.KW
+		iPlane := (n*w.CIn + c) * w.H * w.W
+		for y := 0; y < oh; y++ {
+			iy0 := y*w.StrideH - w.PadH
+			ky0, ky1 := clampKernelRange(iy0, w.H, w.KH)
+			for x := 0; x < ow; x++ {
+				ix0 := x*w.StrideW - w.PadW
+				kx0, kx1 := clampKernelRange(ix0, w.W, w.KW)
+				sum := b
+				iBase := iPlane + ix0
+				for ky := ky0; ky < ky1; ky++ {
+					iRow := iBase + (iy0+ky)*w.W
+					wRow := wBase + ky*w.KW
+					for kx := kx0; kx < kx1; kx++ {
+						sum += ind[iRow+kx] * wd[wRow+kx]
+					}
+				}
+				od[((n*w.COut+c)*oh+y)*ow+x] = applyActivation(sum, w.FusedActivation)
+			}
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package ops
+
+import "unigpu/internal/tensor"
+
+// im2col-GEMM convolution backend.
+//
+// The convolution is lowered per (batch, group) to C = A * B where
+//
+//	A is the (coutPerG x K) weight matrix, K = cinPerG*KH*KW,
+//	B is the (K x OutH*OutW) im2col matrix of input patches,
+//
+// and C is the (coutPerG x OutH*OutW) output plane. Both operands are
+// packed into panel layouts so the microkernel streams contiguously:
+//
+//	packed A: row panels of gemmMR, element (i, k) at panel(i)*K*MR + k*MR + i%MR
+//	packed B: col panels of gemmNR, element (k, j) at panel(j)*K*NR + k*NR + j%NR
+//
+// Macro blocking (gemmMC x gemmNC output tiles) provides the parallelFor
+// grain and keeps each worker's A/B panels hot in cache. The K dimension is
+// deliberately NOT split (KC == K): every output element accumulates in one
+// register in ascending-k order starting from its bias value, which makes
+// the GEMM path bit-identical to the direct kernel's ascending (ci, ky, kx)
+// tap order (padding taps contribute an exact 0*w = +-0).
+const (
+	gemmMR = 4   // microkernel rows (output channels)
+	gemmNR = 4   // microkernel cols (output pixels)
+	gemmMC = 64  // macro-tile rows per parallel job
+	gemmNC = 128 // macro-tile cols per parallel job
+)
+
+func roundUp(n, m int) int { return (n + m - 1) / m * m }
+
+// GEMMPackedWeightElems returns the length of the packed-A buffer produced
+// by PackConvWeightsGEMM for workload w.
+func GEMMPackedWeightElems(w ConvWorkload) int {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	return g * roundUp(coutPerG, gemmMR) * k
+}
+
+// GEMMScratchElems returns the im2col scratch (packed-B) size in float32
+// elements for workload w. The buffer covers one (batch, group) plane; the
+// batch/group loop is serial so a single buffer is reused.
+func GEMMScratchElems(w ConvWorkload) int {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	k := cinPerG * w.KH * w.KW
+	return k * roundUp(w.OutH()*w.OutW(), gemmNR)
+}
+
+// PackConvWeightsGEMM packs OIHW conv weights into the GEMM row-panel
+// layout. Done once at plan time; the result is read-only and shared across
+// sessions.
+func PackConvWeightsGEMM(weight *tensor.Tensor, w ConvWorkload) []float32 {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	mPad := roundUp(coutPerG, gemmMR)
+
+	wd := weight.Data()
+	packed := make([]float32, g*mPad*k)
+	for grp := 0; grp < g; grp++ {
+		gBase := grp * mPad * k
+		for i := 0; i < mPad; i++ {
+			panel := i / gemmMR
+			lane := i % gemmMR
+			if i >= coutPerG {
+				continue // zero-padded tail row
+			}
+			co := grp*coutPerG + i
+			wBase := co * k // OIHW row co is already k-contiguous
+			pBase := gBase + panel*k*gemmMR + lane
+			for kk := 0; kk < k; kk++ {
+				packed[pBase+kk*gemmMR] = wd[wBase+kk]
+			}
+		}
+	}
+	return packed
+}
+
+// im2colPacked fills bp with the packed-B im2col panels for one
+// (batch, group) input plane. Out-of-bounds taps and tail columns are
+// written as exact zeros.
+func im2colPacked(bp []float32, ind []float32, w ConvWorkload, n, grp int) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	oh, ow := w.OutH(), w.OutW()
+	nCols := oh * ow
+	k := cinPerG * w.KH * w.KW
+	nPanels := (nCols + gemmNR - 1) / gemmNR
+	ciBase := grp * cinPerG
+
+	parallelFor(nPanels, func(p int) {
+		pBase := p * k * gemmNR
+		for j := 0; j < gemmNR; j++ {
+			col := p*gemmNR + j
+			if col >= nCols {
+				for kk := 0; kk < k; kk++ {
+					bp[pBase+kk*gemmNR+j] = 0
+				}
+				continue
+			}
+			y := col / ow
+			x := col % ow
+			iy0 := y*w.StrideH - w.PadH
+			ix0 := x*w.StrideW - w.PadW
+			dst := pBase + j
+			for ci := 0; ci < cinPerG; ci++ {
+				iPlane := (n*w.CIn+ciBase+ci)*w.H*w.W + ix0
+				for ky := 0; ky < w.KH; ky++ {
+					iy := iy0 + ky
+					rowOK := iy >= 0 && iy < w.H
+					iRow := iPlane + iy*w.W
+					for kx := 0; kx < w.KW; kx++ {
+						var v float32
+						if rowOK {
+							if ix := ix0 + kx; ix >= 0 && ix < w.W {
+								v = ind[iRow+kx]
+							}
+						}
+						bp[dst] = v
+						dst += gemmNR
+					}
+				}
+			}
+		}
+	})
+}
+
+// conv2DGEMMInto runs the im2col-GEMM convolution. packedA must come from
+// PackConvWeightsGEMM; scratch must hold GEMMScratchElems(w) float32s (pass
+// nil to allocate locally).
+func conv2DGEMMInto(out, in, bias *tensor.Tensor, w ConvWorkload, packedA, scratch []float32) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	oh, ow := w.OutH(), w.OutW()
+	nCols := oh * ow
+	mPad := roundUp(coutPerG, gemmMR)
+
+	if need := GEMMScratchElems(w); len(scratch) < need {
+		scratch = make([]float32, need)
+	}
+	ind := in.Data()
+	od := out.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	mBlocks := (coutPerG + gemmMC - 1) / gemmMC
+	nBlocks := (nCols + gemmNC - 1) / gemmNC
+
+	for n := 0; n < w.N; n++ {
+		for grp := 0; grp < g; grp++ {
+			im2colPacked(scratch, ind, w, n, grp)
+			pa := packedA[grp*mPad*k : (grp+1)*mPad*k]
+			outBase := (n*w.COut + grp*coutPerG) * nCols
+			parallelFor(mBlocks*nBlocks, func(job int) {
+				mb := job / nBlocks
+				nb := job % nBlocks
+				i0, i1 := mb*gemmMC, min((mb+1)*gemmMC, coutPerG)
+				j0, j1 := nb*gemmNC, min((nb+1)*gemmNC, nCols)
+				for i := i0; i < i1; i += gemmMR {
+					for j := j0; j < j1; j += gemmNR {
+						gemmMicro(od, pa, scratch, bd, w, grp, coutPerG, k, nCols, outBase, i, j)
+					}
+				}
+			})
+		}
+	}
+}
+
+// gemmMicro computes one gemmMR x gemmNR output tile: 16 register
+// accumulators initialized to the row's bias, accumulated over the full K
+// extent in ascending order, with the activation applied at write-out.
+func gemmMicro(od, pa, pb, bd []float32, w ConvWorkload, grp, coutPerG, k, nCols, outBase, i0, j0 int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	if bd != nil {
+		coBase := grp*coutPerG + i0
+		b0 := bd[coBase]
+		b1, b2, b3 := b0, b0, b0
+		if i0+1 < coutPerG {
+			b1 = bd[coBase+1]
+		}
+		if i0+2 < coutPerG {
+			b2 = bd[coBase+2]
+		}
+		if i0+3 < coutPerG {
+			b3 = bd[coBase+3]
+		}
+		c00, c01, c02, c03 = b0, b0, b0, b0
+		c10, c11, c12, c13 = b1, b1, b1, b1
+		c20, c21, c22, c23 = b2, b2, b2, b2
+		c30, c31, c32, c33 = b3, b3, b3, b3
+	}
+
+	ap := pa[(i0/gemmMR)*k*gemmMR:]
+	bp := pb[(j0/gemmNR)*k*gemmNR:]
+	for kk := 0; kk < k; kk++ {
+		a := ap[kk*gemmMR : kk*gemmMR+gemmMR]
+		b := bp[kk*gemmNR : kk*gemmNR+gemmNR]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+
+	mv := coutPerG - i0 // valid rows in this tile
+	nv := nCols - j0    // valid cols in this tile
+	act := w.FusedActivation
+	writeGemmRow(od, outBase+(i0+0)*nCols+j0, nv, act, c00, c01, c02, c03)
+	if mv > 1 {
+		writeGemmRow(od, outBase+(i0+1)*nCols+j0, nv, act, c10, c11, c12, c13)
+	}
+	if mv > 2 {
+		writeGemmRow(od, outBase+(i0+2)*nCols+j0, nv, act, c20, c21, c22, c23)
+	}
+	if mv > 3 {
+		writeGemmRow(od, outBase+(i0+3)*nCols+j0, nv, act, c30, c31, c32, c33)
+	}
+}
+
+func writeGemmRow(od []float32, base, nv int, act Activation, v0, v1, v2, v3 float32) {
+	od[base] = applyActivation(v0, act)
+	if nv > 1 {
+		od[base+1] = applyActivation(v1, act)
+	}
+	if nv > 2 {
+		od[base+2] = applyActivation(v2, act)
+	}
+	if nv > 3 {
+		od[base+3] = applyActivation(v3, act)
+	}
+}

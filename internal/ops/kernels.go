@@ -1,0 +1,194 @@
+package ops
+
+import (
+	"fmt"
+
+	"unigpu/internal/tensor"
+)
+
+// ConvKernel identifies one of the convolution algorithm implementations
+// the selector can choose between per workload.
+type ConvKernel int
+
+const (
+	// KernelAuto defers the choice to DefaultKernel (or to the graph-level
+	// selection pass, which writes a concrete kernel onto the operator).
+	KernelAuto ConvKernel = iota
+	// KernelDirect is the boundary-hoisted direct loop (Conv2DInto). It
+	// handles every workload shape and is the bit-exactness reference.
+	KernelDirect
+	// KernelDepthwise is the Groups==CIn==COut specialization
+	// (Conv2DDepthwiseInto); bit-identical to direct.
+	KernelDepthwise
+	// KernelWinograd is F(2x2,3x3) minimal filtering for dense 3x3
+	// stride-1 convs; numerically ~1e-4 from direct, never auto-selected
+	// unless the caller opts in (see graph.KernelSelection.AllowWinograd).
+	KernelWinograd
+	// KernelGEMM is the im2col + packed cache-blocked GEMM path;
+	// bit-identical to direct (single ascending-k accumulator per output).
+	KernelGEMM
+)
+
+// ConvKernels lists the concrete (non-Auto) kernels in a stable order.
+var ConvKernels = []ConvKernel{KernelDirect, KernelDepthwise, KernelWinograd, KernelGEMM}
+
+func (k ConvKernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelDirect:
+		return "direct"
+	case KernelDepthwise:
+		return "depthwise"
+	case KernelWinograd:
+		return "winograd"
+	case KernelGEMM:
+		return "gemm"
+	}
+	return fmt.Sprintf("ConvKernel(%d)", int(k))
+}
+
+// ParseConvKernel is the inverse of String; it recognizes the names stored
+// in tuning-DB kernel records.
+func ParseConvKernel(s string) (ConvKernel, bool) {
+	for _, k := range append([]ConvKernel{KernelAuto}, ConvKernels...) {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return KernelAuto, false
+}
+
+// KernelSupported reports whether kernel k can execute workload w.
+func KernelSupported(k ConvKernel, w ConvWorkload) bool {
+	switch k {
+	case KernelAuto, KernelDirect, KernelGEMM:
+		return true
+	case KernelDepthwise:
+		return w.IsDepthwise()
+	case KernelWinograd:
+		return WinogradSupported(w)
+	}
+	return false
+}
+
+// DefaultKernel picks a kernel for w without a cost model: depthwise gets
+// the specialized kernel, everything else the GEMM path. Winograd is never
+// a default (it changes numerics) — it must be selected explicitly.
+func DefaultKernel(w ConvWorkload) ConvKernel {
+	if w.IsDepthwise() {
+		return KernelDepthwise
+	}
+	return KernelGEMM
+}
+
+// KernelProfile estimates the work kernel k does on workload w: flops and
+// bytes moved (for a roofline model such as sim.Device.AlgoSeconds) plus a
+// relative arithmetic efficiency in (0,1] capturing how well the
+// implementation converts peak flops into useful work. The absolute values
+// matter less than the ordering they induce per workload.
+func KernelProfile(w ConvWorkload, k ConvKernel) (flops, bytes, eff float64) {
+	flops = w.FLOPs()
+	bytes = w.Bytes()
+	switch k {
+	case KernelDirect:
+		// Scalar loop, little register reuse; the hoisted bounds still
+		// leave it latency-bound on the tap chain.
+		eff = 0.35
+	case KernelDepthwise:
+		// Same loop structure but one plane per job: tiny working set,
+		// no channel reduction, much friendlier to cache.
+		eff = 0.55
+	case KernelWinograd:
+		// 2.25x fewer multiplies, paid for with transform arithmetic on
+		// every 4x4 tile and a transformed-filter read.
+		tiles := float64(w.N) * float64((w.OutH()+1)/2) * float64((w.OutW()+1)/2)
+		transform := tiles * float64(w.CIn) * (32 + 16) // data transform + tile FMAs bookkeeping
+		flops = flops/WinogradMultiplyReduction + 2*transform
+		bytes += 4 * float64(WinogradPackedElems(w))
+		eff = 0.60
+	case KernelGEMM:
+		// Packed panels give the microkernel dense register reuse, but
+		// the im2col scratch is written then re-read once per (n,group).
+		g := max(1, w.Groups)
+		kdim := (w.CIn / g) * w.KH * w.KW
+		nCols := w.OutH() * w.OutW()
+		bytes += 8 * float64(w.N*g) * float64(kdim) * float64(nCols)
+		eff = 0.80
+		// Tiny reductions or few output pixels leave panels underfilled.
+		if kdim < 32 {
+			eff *= 0.6
+		}
+		if nCols < 64 {
+			eff *= 0.6
+		}
+	default:
+		eff = 0.35
+	}
+	return flops, bytes, eff
+}
+
+// PreparedConv is a convolution bound to a concrete kernel with its weights
+// repacked into that kernel's layout. Prepared at plan time, it is
+// read-only and safe to share across concurrently running sessions.
+type PreparedConv struct {
+	w      ConvWorkload
+	kernel ConvKernel
+	weight *tensor.Tensor // original OIHW weights (direct/depthwise)
+	packed []float32      // GEMM packed-A panels or Winograd U, else nil
+}
+
+// PrepareConv resolves kernel k for workload w (KernelAuto picks
+// DefaultKernel; unsupported choices fall back to KernelDirect) and packs
+// weight into the kernel's layout.
+func PrepareConv(w ConvWorkload, k ConvKernel, weight *tensor.Tensor) *PreparedConv {
+	if k == KernelAuto {
+		k = DefaultKernel(w)
+	}
+	if !KernelSupported(k, w) {
+		k = KernelDirect
+	}
+	p := &PreparedConv{w: w, kernel: k, weight: weight}
+	switch k {
+	case KernelGEMM:
+		p.packed = PackConvWeightsGEMM(weight, w)
+	case KernelWinograd:
+		p.packed = PackConvWeightsWinograd(weight, w)
+	}
+	return p
+}
+
+// Kernel returns the concrete kernel this conv was prepared for.
+func (p *PreparedConv) Kernel() ConvKernel { return p.kernel }
+
+// Workload returns the conv workload.
+func (p *PreparedConv) Workload() ConvWorkload { return p.w }
+
+// PackedElems returns the size of the repacked weight buffer (0 for
+// kernels that read the original OIHW weights).
+func (p *PreparedConv) PackedElems() int { return len(p.packed) }
+
+// ScratchElems returns the per-run scratch requirement in float32 elements.
+// The runtime reserves this as an arena slot so Session.Run allocates
+// nothing; RunInto also accepts nil scratch and allocates locally.
+func (p *PreparedConv) ScratchElems() int {
+	if p.kernel == KernelGEMM {
+		return GEMMScratchElems(p.w)
+	}
+	return 0
+}
+
+// RunInto executes the prepared convolution into out. scratch may be nil
+// (or short), in which case the kernel allocates its own.
+func (p *PreparedConv) RunInto(out, in, bias *tensor.Tensor, scratch []float32) {
+	switch p.kernel {
+	case KernelDepthwise:
+		Conv2DDepthwiseInto(out, in, p.weight, bias, p.w)
+	case KernelWinograd:
+		conv2DWinogradPackedInto(out, in, bias, p.w, p.packed)
+	case KernelGEMM:
+		conv2DGEMMInto(out, in, bias, p.w, p.packed, scratch)
+	default:
+		Conv2DInto(out, in, p.weight, bias, p.w)
+	}
+}

@@ -152,3 +152,120 @@ func outputTransform(m [4][4]float32) [2][2]float32 {
 // WinogradMultiplyReduction is the multiplication saving of F(2x2,3x3):
 // 36 multiplies per 2x2 output tile direct vs 16 in the transform domain.
 const WinogradMultiplyReduction = 36.0 / 16.0
+
+// WinogradSupported reports whether the F(2x2,3x3) kernel applies to w.
+func WinogradSupported(w ConvWorkload) bool {
+	return w.KH == 3 && w.KW == 3 && w.StrideH == 1 && w.StrideW == 1 && w.Groups <= 1
+}
+
+// WinogradPackedElems returns the length of the packed transformed-filter
+// buffer produced by PackConvWeightsWinograd.
+func WinogradPackedElems(w ConvWorkload) int { return w.COut * w.CIn * 16 }
+
+// PackConvWeightsWinograd pre-transforms all 3x3 filters into the Winograd
+// domain: U[co][ci] = G g Gᵀ, stored flat at (co*CIn+ci)*16 + y*4 + x.
+// Done once at plan time and shared read-only across sessions.
+func PackConvWeightsWinograd(weight *tensor.Tensor, w ConvWorkload) []float32 {
+	wd := weight.Data()
+	packed := make([]float32, WinogradPackedElems(w))
+	for co := 0; co < w.COut; co++ {
+		for ci := 0; ci < w.CIn; ci++ {
+			var g [3][3]float32
+			base := (co*w.CIn + ci) * 9
+			for y := 0; y < 3; y++ {
+				for x := 0; x < 3; x++ {
+					g[y][x] = wd[base+y*3+x]
+				}
+			}
+			u := filterTransform(g)
+			uBase := (co*w.CIn + ci) * 16
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					packed[uBase+y*4+x] = u[y][x]
+				}
+			}
+		}
+	}
+	return packed
+}
+
+// Conv2DWinogradInto is Conv2DWinograd computing into a caller-provided
+// output tensor; it transforms the filters on the fly (allocating) and
+// delegates to the packed kernel. Results are bit-identical to
+// Conv2DWinograd and agree with the direct kernel to within float32
+// rounding of the transform arithmetic (~1e-4 relative; see the golden
+// tolerance tests).
+func Conv2DWinogradInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
+	conv2DWinogradPackedInto(out, in, bias, w, PackConvWeightsWinograd(weight, w))
+}
+
+// conv2DWinogradPackedInto runs F(2x2,3x3) with pre-transformed filters
+// (from PackConvWeightsWinograd). It allocates nothing: all tile state
+// lives in fixed-size stack arrays.
+func conv2DWinogradPackedInto(out, in, bias *tensor.Tensor, w ConvWorkload, packedU []float32) {
+	if !WinogradSupported(w) {
+		panic("ops: Winograd F(2x2,3x3) requires a dense 3x3 stride-1 convolution")
+	}
+	oh, ow := w.OutH(), w.OutW()
+	ind := in.Data()
+	od := out.Data()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+	parallelFor(w.N*w.COut, func(job int) {
+		n := job / w.COut
+		co := job % w.COut
+		var b float32
+		if bd != nil {
+			b = bd[co]
+		}
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				var acc [4][4]float32
+				for ci := 0; ci < w.CIn; ci++ {
+					var d [4][4]float32
+					iPlane := (n*w.CIn + ci) * w.H * w.W
+					for y := 0; y < 4; y++ {
+						iy := ty*2 - w.PadH + y
+						if iy < 0 || iy >= w.H {
+							continue
+						}
+						iRow := iPlane + iy*w.W
+						for x := 0; x < 4; x++ {
+							ix := tx*2 - w.PadW + x
+							if ix >= 0 && ix < w.W {
+								d[y][x] = ind[iRow+ix]
+							}
+						}
+					}
+					v := dataTransform(d)
+					u := packedU[(co*w.CIn+ci)*16:]
+					for y := 0; y < 4; y++ {
+						for x := 0; x < 4; x++ {
+							acc[y][x] += u[y*4+x] * v[y][x]
+						}
+					}
+				}
+				y2 := outputTransform(acc)
+				for dy := 0; dy < 2; dy++ {
+					oy := ty*2 + dy
+					if oy >= oh {
+						continue
+					}
+					oRow := ((n*w.COut+co)*oh + oy) * ow
+					for dx := 0; dx < 2; dx++ {
+						ox := tx*2 + dx
+						if ox >= ow {
+							continue
+						}
+						od[oRow+ox] = applyActivation(y2[dy][dx]+b, w.FusedActivation)
+					}
+				}
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"unigpu/internal/graph"
 	"unigpu/internal/obs"
+	"unigpu/internal/ops"
 	"unigpu/internal/tensor"
 )
 
@@ -60,6 +61,16 @@ type planNode struct {
 	elems    int
 	slot     int  // arena slot index
 	gpu      bool // serialized through the simulated GPU command queue
+
+	// conv is the prepacked convolution for conv nodes with constant
+	// weights: the selected kernel's weight layout is built once at plan
+	// time and shared read-only by every session. scratchSlot/scratchElems
+	// reserve the kernel's per-run workspace (im2col panels) in the arena
+	// so Session.Run stays allocation-free; scratchSlot is -1 when the
+	// kernel needs none.
+	conv         *ops.PreparedConv
+	scratchSlot  int
+	scratchElems int
 
 	// consumers are the plan-node indices to notify on completion: the data
 	// edges plus the anti-dependency (buffer-reuse) edges; pending is the
@@ -125,10 +136,19 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 		pn := planNode{
 			name: n.Name, kind: n.Op.Kind(), device: n.Device,
 			op: n.Op, outShape: n.OutShape, elems: n.OutShape.NumElements(),
-			gpu: n.Device == graph.OnGPU,
+			gpu: n.Device == graph.OnGPU, scratchSlot: -1,
 		}
 		if io, ok := n.Op.(graph.IntoOperator); ok {
 			pn.into = io
+		}
+		// Prepack conv weights for the selected kernel. Only convs with
+		// constant weights qualify (a fed or computed weight could change
+		// between runs); those fall back to the generic ExecuteInto path.
+		if convOp, ok := n.Op.(*graph.ConvOp); ok &&
+			len(n.Inputs) > 1 && n.Inputs[1].IsConstant() {
+			pn.conv = ops.PrepareConv(convOp.W, convOp.Kernel, n.Inputs[1].Value)
+			pn.scratchElems = pn.conv.ScratchElems()
+			obs.Count("kernel.selected."+pn.conv.Kernel().String(), 1)
 		}
 		pn.args = make([]valueRef, len(n.Inputs))
 		for ai, in := range n.Inputs {
@@ -200,20 +220,17 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 		p.nodes[y].pending++
 	}
 
-	live, peak := 0, 0
-	for i, n := range gnodes {
-		pn := &p.nodes[i]
-		bytes := 4 * pn.elems
-		p.interBytes += bytes
-
-		// Acquire a slot before releasing inputs, so a node never writes
-		// over a buffer it is still reading.
+	// acquire takes the best-fitting free slot for elems (growing the
+	// largest free slot when nothing fits, appending when none are free)
+	// and anti-depends node i on every reader of the slot's previous
+	// occupant, so the buffer is never re-occupied while still being read.
+	acquire := func(elems, i int) int {
 		s := -1
 		if len(free) > 0 {
 			bestIdx, largestIdx := -1, 0
 			for fi, fs := range free {
 				c := slots[fs].elems
-				if c >= pn.elems && (bestIdx == -1 || c < slots[free[bestIdx]].elems) {
+				if c >= elems && (bestIdx == -1 || c < slots[free[bestIdx]].elems) {
 					bestIdx = fi
 				}
 				if c > slots[free[largestIdx]].elems {
@@ -226,18 +243,43 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 			}
 			s = free[pick]
 			free = append(free[:pick], free[pick+1:]...)
-			if slots[s].elems < pn.elems {
-				slots[s].elems = pn.elems
+			if slots[s].elems < elems {
+				slots[s].elems = elems
 			}
 		} else {
-			slots = append(slots, slotState{elems: pn.elems})
+			slots = append(slots, slotState{elems: elems})
 			s = len(slots) - 1
 		}
 		for _, r := range slots[s].readers {
 			addAnti(r, i)
 		}
 		slots[s].readers = nil
+		return s
+	}
+
+	live, peak := 0, 0
+	for i, n := range gnodes {
+		pn := &p.nodes[i]
+		bytes := 4 * pn.elems
+		p.interBytes += bytes
+
+		// Acquire the output slot before releasing inputs, so a node never
+		// writes over a buffer it is still reading.
+		s := acquire(pn.elems, i)
 		pn.slot = s
+
+		// A prepacked conv's scratch lives only while the node runs:
+		// acquire a slot, mark this node its sole reader, and free it at
+		// once so the very next node may reuse it (guarded by the
+		// anti-dependency edge). Scratch is deliberately excluded from the
+		// liveness accounting — peakLive/interBytes keep the seed
+		// executor's intermediate-tensor semantics.
+		if pn.scratchElems > 0 {
+			sc := acquire(pn.scratchElems, i)
+			pn.scratchSlot = sc
+			slots[sc].readers = []int32{int32(i)}
+			free = append(free, sc)
+		}
 
 		live += bytes
 		if live > peak {
@@ -330,6 +372,7 @@ type Session struct {
 	concurrent bool
 	arena      *tensor.Arena
 	outs       []*tensor.Tensor   // per-node arena-backed outputs
+	scratch    [][]float32        // per-node arena-backed conv workspace (nil when unused)
 	args       [][]*tensor.Tensor // per-node inputs; feed entries refreshed per Run
 	results    []*tensor.Tensor
 	pending    []int32
@@ -354,10 +397,14 @@ func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
 		slotBuf[si] = s.arena.Alloc(e)
 	}
 	s.outs = make([]*tensor.Tensor, len(p.nodes))
+	s.scratch = make([][]float32, len(p.nodes))
 	s.args = make([][]*tensor.Tensor, len(p.nodes))
 	for i := range p.nodes {
 		pn := &p.nodes[i]
 		s.outs[i] = tensor.FromData(slotBuf[pn.slot][:pn.elems:pn.elems], pn.outShape...)
+		if pn.scratchSlot >= 0 {
+			s.scratch[i] = slotBuf[pn.scratchSlot][:pn.scratchElems:pn.scratchElems]
+		}
 		a := make([]*tensor.Tensor, len(pn.args))
 		for ai, vr := range pn.args {
 			switch vr.kind {
@@ -449,7 +496,15 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool) error {
 	if profiled || traceOn {
 		start = time.Now()
 	}
-	if pn.into != nil {
+	if pn.conv != nil {
+		// Prepacked convolution: selected kernel, plan-time weight layout,
+		// arena-backed scratch — no per-run packing or allocation.
+		var bias *tensor.Tensor
+		if len(ins) > 2 {
+			bias = ins[2]
+		}
+		pn.conv.RunInto(s.outs[i], ins[0], bias, s.scratch[i])
+	} else if pn.into != nil {
 		pn.into.ExecuteInto(s.outs[i], ins)
 	} else {
 		out := pn.op.Execute(ins)

@@ -1,0 +1,20 @@
+package sim
+
+// AlgoSeconds is a roofline estimate for one kernel invocation described by
+// its flop count, bytes moved, and relative arithmetic efficiency (how well
+// the implementation converts the device's achievable peak into useful
+// work; see ops.KernelProfile). It is used by the graph-level conv kernel
+// selector to rank alternative algorithms for the same workload — the
+// absolute seconds matter less than the per-workload ordering.
+func (d *Device) AlgoSeconds(flops, bytes, eff float64) float64 {
+	if eff <= 0 {
+		eff = 1e-3
+	}
+	compute := flops / (d.PeakGFLOPs * 1e9 * d.BaseEfficiency * eff)
+	memory := bytes / (d.MemBandwidthGBs * 1e9)
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return t + d.KernelLaunchUs*1e-6
+}

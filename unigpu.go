@@ -147,6 +147,12 @@ type CompileOptions struct {
 	// FallbackNMS places box_nms (and its sorting) on the companion CPU
 	// instead of the integrated GPU (§3.1.2).
 	FallbackNMS bool
+	// AllowWinograd lets the conv kernel selector pick the F(2x2,3x3)
+	// Winograd algorithm where profitable. Winograd reassociates the
+	// reduction, so outputs can differ from the direct kernel by float32
+	// rounding (~1e-4); with it off (the default) every selected kernel is
+	// bit-identical to direct and model outputs are unchanged.
+	AllowWinograd bool
 }
 
 // CompiledModel is a model optimized for one platform.
@@ -165,6 +171,9 @@ type CompiledModel struct {
 	NodesOnCPU int
 	// CopiesInserted counts device_copy nodes from the placement pass.
 	CopiesInserted int
+	// ConvKernels counts the convolutions assigned to each algorithm by
+	// the kernel-selection pass (keys: direct, depthwise, winograd, gemm).
+	ConvKernels map[string]int
 
 	model    *models.Model
 	planOnce sync.Once
@@ -201,6 +210,20 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 	graph.Optimize(m.Graph)
 
 	cm := &CompiledModel{Name: name, Platform: p, model: m}
+
+	// Per-workload conv algorithm selection: the roofline cost model picks
+	// among direct / depthwise / winograd / gemm for every conv, with
+	// tuning-DB kernel records taking precedence, and the runtime prepacks
+	// weights for the chosen kernel at plan time.
+	ksp := obs.Start("select.kernels", obs.KV("device", p.GPU.Name))
+	counts := graph.SelectConvKernels(m.Graph, graph.KernelSelection{
+		Device: p.GPU, DB: e.est.DB, AllowWinograd: opts.AllowWinograd,
+	})
+	cm.ConvKernels = make(map[string]int, len(counts))
+	for k, c := range counts {
+		cm.ConvKernels[k.String()] = c
+	}
+	ksp.End()
 
 	// Device placement (§3.1.2): everything GPU-friendly stays on the GPU;
 	// the fallback option sends NMS (and the detection decode it sorts
