@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench trace
+.PHONY: build test vet race verify bench trace soak
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ verify:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 20x ./internal/runtime ./internal/ops | tee bench.out
 	$(GO) run ./cmd/bench2json -in bench.out -out BENCH_runtime.json -maxallocs 'BenchmarkSessionRun=0'
+
+# soak hammers the fault-tolerant runtime: 500 session runs with seeded
+# random fault injection (transient kernels, queue hangs, device loss,
+# memory pressure) under the race detector, alternating serial and
+# concurrent schedulers, asserting bit-identical outputs and no
+# goroutine leaks throughout.
+soak:
+	UNIGPU_SOAK_RUNS=500 $(GO) test -race -run 'TestFaultSoak' -count=1 -v ./internal/runtime
 
 # trace produces a sample Chrome trace + metrics dump from a quick run.
 trace:

@@ -1,12 +1,16 @@
-// Command unigpu-bench regenerates the paper's tables and figures, and
-// benchmarks the pooled serving runtime (-streams).
+// Command unigpu-bench regenerates the paper's tables and figures,
+// benchmarks the pooled serving runtime (-streams), and soaks the
+// fault-tolerance machinery (-faults).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +30,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// Ctrl-C cancels the current phase (in-flight requests abort between
+	// node dispatches; tables stop between models).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,kernels,all")
 	jsonPath := flag.String("json", "", "also write Tables 1-3 results as machine-readable JSON to this file")
 	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule searches)")
@@ -38,13 +46,28 @@ func main() {
 	requests := flag.Int("requests", 32, "serving mode: requests per client")
 	workers := flag.Int("workers", 1, "serving mode: per-session CPU worker pool for concurrent node dispatch")
 	gpuStreams := flag.Int("gpu-streams", 1, "serving mode: simulated GPU command queues per session")
+	faults := flag.Bool("faults", false, "fault-injection soak: with -streams, serve through a SessionPool with seeded random faults and print degraded-mode QPS/p99; alone, print the healthy-vs-quarantined latency table per zoo model")
+	faultRate := flag.Float64("fault-rate", 0.2, "faults: per-dispatch injection probability")
+	faultSeed := flag.Int64("fault-seed", 1, "faults: injector RNG seed")
+	faultHang := flag.Duration("fault-hang", 200*time.Microsecond, "faults: injected queue-hang stall")
 	flag.Parse()
 
 	if *trace != "" || *metrics {
 		obs.Enable()
 	}
+	if *faults && *streams == 0 {
+		faultsTable(ctx)
+		if *metrics {
+			fmt.Print(obs.DumpMetrics())
+		}
+		return
+	}
 	if *streams > 0 {
-		serve(*model, *size, *streams, *requests, *workers, *gpuStreams)
+		var cfg *sim.FaultConfig
+		if *faults {
+			cfg = &sim.FaultConfig{Seed: *faultSeed, Rate: *faultRate, HangLatency: *faultHang}
+		}
+		serve(ctx, *model, *size, *streams, *requests, *workers, *gpuStreams, cfg)
 		if *metrics {
 			fmt.Print(obs.DumpMetrics())
 		}
@@ -202,9 +225,13 @@ func buildModelPlanInput(name string, size int) *modelPlanInput {
 }
 
 // serve runs the concurrent-client throughput benchmark: one compiled
-// plan, N clients each owning a pooled session, every client issuing R
-// back-to-back requests. Reports aggregate QPS and per-request p50/p99.
-func serve(model string, size, streams, requests, workers, gpuStreams int) {
+// plan, N clients issuing R back-to-back requests each. Without faults
+// every client owns a pooled session; with a fault config the clients go
+// through a SessionPool (admission control, shared circuit breaker) with
+// seeded random faults injected into every GPU dispatch, and the report
+// adds the degraded-mode counters. Reports aggregate QPS and per-request
+// p50/p99.
+func serve(ctx context.Context, model string, size, streams, requests, workers, gpuStreams int, faultCfg *sim.FaultConfig) {
 	eng := unigpu.NewEngine()
 	cm, err := eng.Compile(model, unigpu.DeepLens, unigpu.CompileOptions{InputSize: size, SkipTuning: true})
 	if err != nil {
@@ -218,38 +245,72 @@ func serve(model string, size, streams, requests, workers, gpuStreams int) {
 		model, size, plan.NumNodes(), plan.ArenaBytes()/1024, plan.PeakLiveBytes()/1024, plan.IntermediateBytes()/1024)
 
 	opts := unigpu.SessionOptions{Workers: workers, GPUStreams: gpuStreams}
+	var pool *unigpu.SessionPool
+	var inj *sim.FaultInjector
+	if faultCfg != nil {
+		inj = sim.NewFaultInjector(*faultCfg)
+		opts.Faults = inj
+		poolSessions := (streams + 1) / 2 // undersized on purpose: exercises queueing
+		pool, err = cm.NewSessionPool(unigpu.PoolOptions{
+			Sessions: poolSessions, QueueDepth: streams, Session: opts,
+		})
+		if err != nil {
+			log.Fatalf("pool: %v", err)
+		}
+		log.Printf("fault soak: rate=%.2f seed=%d hang=%v, pool %d sessions, queue depth %d",
+			faultCfg.Rate, faultCfg.Seed, faultCfg.HangLatency, poolSessions, streams)
+	}
+
 	sessions := make([]*unigpu.Session, streams)
 	inputs := make([]*unigpu.Tensor, streams)
 	rng := rand.New(rand.NewSource(1))
 	for i := range sessions {
-		if sessions[i], err = cm.NewSessionWith(opts); err != nil {
-			log.Fatalf("session: %v", err)
-		}
 		in := unigpu.NewTensor(cm.InputShape()...)
 		d := in.Data()
 		for j := range d {
 			d[j] = rng.Float32()
 		}
 		inputs[i] = in
+		if pool != nil {
+			continue
+		}
+		if sessions[i], err = cm.NewSessionWith(opts); err != nil {
+			log.Fatalf("session: %v", err)
+		}
 		if _, err := sessions[i].Run(in); err != nil { // warm-up
 			log.Fatalf("warm-up run: %v", err)
 		}
 	}
 
 	lat := make([][]time.Duration, streams)
+	shed := make([]int, streams)
 	var wg sync.WaitGroup
 	wg.Add(streams)
 	start := time.Now()
 	for i := 0; i < streams; i++ {
 		go func(i int) {
 			defer wg.Done()
-			lat[i] = make([]time.Duration, requests)
+			lat[i] = make([]time.Duration, 0, requests)
 			for r := 0; r < requests; r++ {
+				if ctx.Err() != nil {
+					return
+				}
 				t0 := time.Now()
-				if _, err := sessions[i].Run(inputs[i]); err != nil {
+				if pool != nil {
+					_, err = pool.Run(ctx, inputs[i])
+				} else {
+					_, err = sessions[i].RunContext(ctx, inputs[i])
+				}
+				switch {
+				case err == nil:
+					lat[i] = append(lat[i], time.Since(t0))
+				case err == unigpu.ErrOverloaded:
+					shed[i]++
+				case ctx.Err() != nil:
+					return
+				default:
 					log.Fatalf("client %d: %v", i, err)
 				}
-				lat[i][r] = time.Since(t0)
 			}
 		}(i)
 	}
@@ -257,14 +318,94 @@ func serve(model string, size, streams, requests, workers, gpuStreams int) {
 	wall := time.Since(start)
 
 	var all []time.Duration
-	for _, l := range lat {
+	totalShed := 0
+	for i, l := range lat {
 		all = append(all, l...)
+		totalShed += shed[i]
+	}
+	if len(all) == 0 {
+		log.Fatal("no requests completed")
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
-	total := streams * requests
 	fmt.Printf("streams=%d workers=%d gpu-streams=%d: %d requests in %v\n",
-		streams, workers, gpuStreams, total, wall.Round(time.Millisecond))
+		streams, workers, gpuStreams, len(all), wall.Round(time.Millisecond))
 	fmt.Printf("  throughput %.1f req/s, latency p50 %v p99 %v\n",
-		float64(total)/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+		float64(len(all))/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	if inj != nil {
+		reg := obs.DefaultRegistry
+		fmt.Printf("  degraded mode: %d faults injected", inj.Total())
+		for _, k := range sim.AllFaultKinds {
+			if n := inj.Injected(k); n > 0 {
+				fmt.Printf(" %s=%d", k, n)
+			}
+		}
+		fmt.Printf("\n  retries %d, cpu re-exec %d, shed %d, breaker %v\n",
+			reg.Counter("fault.retries").Value(), reg.Counter("fault.cpu_reexec").Value(),
+			totalShed, pool.Breaker().State())
+	}
+}
+
+// faultsTable prints the healthy-vs-degraded wall-clock table per zoo
+// model: the degraded column quarantines the GPU (scripted device loss
+// opens the circuit breaker on the first node) so every GPU-placed node
+// re-executes on the CPU lane with the same bit-identical kernels. This
+// is the source of the EXPERIMENTS.md fault-tolerance table. Inputs are
+// shrunk so the table regenerates in seconds.
+func faultsTable(ctx context.Context) {
+	sizes := []struct {
+		name string
+		size int
+	}{
+		{"ResNet50_v1", 96}, {"MobileNet1.0", 96}, {"SqueezeNet1.0", 96},
+		{"SSD_MobileNet1.0", 128}, {"SSD_ResNet50", 128}, {"Yolov3", 96},
+	}
+	run := func(s *runtime.Session, feeds map[string]*tensor.Tensor) (float64, []*tensor.Tensor) {
+		outs, err := s.Run(feeds) // warm-up (and, degraded, opens the breaker)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if outs, err = s.Run(feeds); err != nil {
+				log.Fatalf("run: %v", err)
+			}
+			if ms := float64(time.Since(t0).Microseconds()) / 1e3; rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		return best, outs
+	}
+	fmt.Println("Fault tolerance: healthy vs degraded (GPU quarantined, CPU re-execution)")
+	fmt.Printf("%-18s %6s %12s %14s %9s  %s\n", "model", "size", "healthy ms", "quarantined ms", "overhead", "bit-identical")
+	for _, mc := range sizes {
+		if ctx.Err() != nil {
+			log.Print("interrupted")
+			return
+		}
+		in := buildModelPlanInput(mc.name, mc.size)
+		plan, err := runtime.NewPlan(in.graph)
+		if err != nil {
+			log.Fatalf("plan: %v", err)
+		}
+		healthyMs, healthyOut := run(plan.NewSession(), in.feeds)
+
+		inj := sim.NewFaultInjector(sim.FaultConfig{}).Script(sim.FaultDeviceLost)
+		br := runtime.NewBreaker(runtime.BreakerOptions{Threshold: 1, Probation: time.Hour})
+		degradedMs, degradedOut := run(plan.NewSessionWith(runtime.SessionOptions{
+			Faults: inj, Breaker: br, RetryBackoff: 10 * time.Microsecond,
+		}), in.feeds)
+
+		identical := len(healthyOut) == len(degradedOut)
+		for k := 0; identical && k < len(healthyOut); k++ {
+			h, d := healthyOut[k].Data(), degradedOut[k].Data()
+			identical = len(h) == len(d)
+			for j := 0; identical && j < len(h); j++ {
+				identical = h[j] == d[j]
+			}
+		}
+		fmt.Printf("%-18s %6d %12.2f %14.2f %8.1f%%  %v\n",
+			mc.name, mc.size, healthyMs, degradedMs, 100*(degradedMs-healthyMs)/healthyMs, identical)
+	}
 }

@@ -4,9 +4,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"unigpu"
@@ -15,6 +19,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// Ctrl-C cancels the in-flight inference between node dispatches
+	// instead of killing the process mid-run; a second Ctrl-C force-quits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	model := flag.String("model", "SqueezeNet1.0", "model name (see -list)")
 	device := flag.String("device", "nano", "deeplens | aisage | nano")
 	size := flag.Int("size", 0, "square input size (0 = model default; small sizes run faster functionally)")
@@ -85,7 +93,10 @@ func main() {
 	in := unigpu.NewTensor(cm.InputShape()...)
 	in.FillRandom(42)
 	start = time.Now()
-	out, err := cm.Run(in)
+	out, err := cm.RunContext(ctx, in)
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted: inference cancelled")
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

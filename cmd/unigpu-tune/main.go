@@ -5,9 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 
@@ -22,6 +25,11 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// Ctrl-C stops scheduling new workloads; in-flight searches drain and
+	// the tuning DB is flushed via the atomic DB.Save, so an interrupted
+	// tune never loses or corrupts records. A second Ctrl-C force-quits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	device := flag.String("device", "nano", "deeplens | aisage | nano")
 	model := flag.String("model", "", "tune every conv workload of a model (e.g. ResNet50_v1)")
 	budget := flag.Int("budget", 128, "measurement budget per workload")
@@ -94,9 +102,14 @@ func main() {
 		cached bool
 	}
 	results := make([]outcome, len(workloads))
+	scheduled := make([]bool, len(workloads))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, nWorkers)
 	for i, w := range workloads {
+		if ctx.Err() != nil {
+			break // interrupted: drain in-flight searches, then flush the DB
+		}
+		scheduled[i] = true
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, w ops.ConvWorkload) {
@@ -115,6 +128,10 @@ func main() {
 	wg.Wait()
 	for i, w := range workloads {
 		o := results[i]
+		if !scheduled[i] {
+			log.Printf("%-55s skipped (interrupted)", w.Key())
+			continue
+		}
 		if o.cached {
 			log.Printf("%-55s cached  %8.3f ms  %v", w.Key(), o.res.Ms, o.res.Config)
 			continue
@@ -132,7 +149,11 @@ func main() {
 	if err := db.Save(); err != nil {
 		log.Fatalf("save db: %v", err)
 	}
-	log.Printf("database %s now holds %d records", *dbPath, db.Len())
+	if ctx.Err() != nil {
+		log.Printf("interrupted: database %s flushed with %d records", *dbPath, db.Len())
+	} else {
+		log.Printf("database %s now holds %d records", *dbPath, db.Len())
+	}
 
 	if *trace != "" {
 		if err := obs.WriteChromeTraceFile(*trace); err != nil {

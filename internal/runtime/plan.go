@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"unigpu/internal/graph"
 	"unigpu/internal/obs"
 	"unigpu/internal/ops"
+	"unigpu/internal/sim"
 	"unigpu/internal/tensor"
 )
 
@@ -359,6 +362,25 @@ type SessionOptions struct {
 	// Profile enables per-node NodeProfile collection (off by default so
 	// the hot path stays allocation-free).
 	Profile bool
+
+	// Faults attaches a simulated device-fault injector: every GPU-placed
+	// node's dispatch passes through it, and injected faults exercise the
+	// degraded paths — bounded jittered retries for transient faults, and
+	// dynamic re-execution on the CPU lane (same bit-identical kernels)
+	// for persistent ones. Nil disables the whole gate; the fault-free hot
+	// path costs one pointer check per node and zero allocations.
+	Faults *sim.FaultInjector
+	// Breaker is the per-device circuit breaker quarantining a failing
+	// GPU. Share one Breaker across every session serving the same device
+	// (SessionPool does); when nil and Faults is set, the session creates
+	// a private one with default options.
+	Breaker *Breaker
+	// MaxRetries bounds per-node dispatch retries of transient faults
+	// (0 = default 2, negative = no retries).
+	MaxRetries int
+	// RetryBackoff is the base jittered exponential backoff between
+	// retries (0 = default 200µs).
+	RetryBackoff time.Duration
 }
 
 // Session is the reusable steady-state run loop over one Plan: it owns a
@@ -378,6 +400,13 @@ type Session struct {
 	pending    []int32
 	profile    []NodeProfile
 	readyNs    []int64 // per-node enqueue time, tracing only
+
+	// Fault tolerance (see SessionOptions).
+	faults       *sim.FaultInjector
+	breaker      *Breaker
+	maxRetries   int
+	retryBackoff time.Duration
+	jitterState  atomic.Uint64
 }
 
 // NewSession creates a serial zero-allocation session: nodes run in
@@ -387,11 +416,27 @@ func (p *Plan) NewSession() *Session { return p.NewSessionWith(SessionOptions{})
 // NewSessionWith creates a session with explicit scheduling options.
 func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
 	s := &Session{
-		plan:       p,
-		opts:       opts,
-		concurrent: opts.Workers > 1 || opts.GPUStreams > 1,
-		arena:      tensor.NewArena(p.arenaElems),
+		plan:         p,
+		opts:         opts,
+		concurrent:   opts.Workers > 1 || opts.GPUStreams > 1,
+		arena:        tensor.NewArena(p.arenaElems),
+		faults:       opts.Faults,
+		breaker:      opts.Breaker,
+		maxRetries:   opts.MaxRetries,
+		retryBackoff: opts.RetryBackoff,
 	}
+	if s.maxRetries == 0 {
+		s.maxRetries = 2
+	} else if s.maxRetries < 0 {
+		s.maxRetries = 0
+	}
+	if s.retryBackoff <= 0 {
+		s.retryBackoff = 200 * time.Microsecond
+	}
+	if s.faults != nil && s.breaker == nil {
+		s.breaker = NewBreaker(BreakerOptions{})
+	}
+	s.jitterState.Store(0x9e3779b97f4a7c15)
 	slotBuf := make([][]float32, len(p.slotElems))
 	for si, e := range p.slotElems {
 		slotBuf[si] = s.arena.Alloc(e)
@@ -429,20 +474,46 @@ func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
 // reused across Runs.
 func (s *Session) Profile() []NodeProfile { return s.profile }
 
+// validateFeeds checks every plan input against the fed tensors before
+// any kernel runs, so a mismatch surfaces as a named error instead of a
+// deep kernel panic or silent corruption. All tensors in this stack are
+// dense float32, so shape and element count fully determine the type.
+func (p *Plan) validateFeeds(feeds map[string]*tensor.Tensor) error {
+	for _, in := range p.inputs {
+		t, ok := feeds[in.name]
+		if !ok {
+			return fmt.Errorf("runtime: input %q not fed", in.name)
+		}
+		if t == nil {
+			return fmt.Errorf("runtime: input %q fed a nil tensor, want shape %v", in.name, in.shape)
+		}
+		if !t.Shape().Equal(in.shape) {
+			return fmt.Errorf("runtime: input %q shape %v, want %v", in.name, t.Shape(), in.shape)
+		}
+		if len(t.Data()) != in.shape.NumElements() {
+			return fmt.Errorf("runtime: input %q backing data has %d elements, shape %v needs %d",
+				in.name, len(t.Data()), in.shape, in.shape.NumElements())
+		}
+	}
+	return nil
+}
+
 // Run executes the plan against the given feeds. The returned output
 // tensors are arena-backed: they are valid until the session's next Run
 // and must be copied to outlive it. The result slice itself is also reused
 // across Runs.
 func (s *Session) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return s.RunContext(context.Background(), feeds)
+}
+
+// RunContext is Run with cancellation: the context is honoured between
+// node dispatches, inside the simulated GPU queue wait, and during retry
+// backoff, returning ctx.Err() promptly without deadlocking or leaking
+// worker lanes. A cancelled run leaves the session reusable.
+func (s *Session) RunContext(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
 	p := s.plan
-	for _, in := range p.inputs {
-		t, ok := feeds[in.name]
-		if !ok {
-			return nil, fmt.Errorf("runtime: input %q not fed", in.name)
-		}
-		if !t.Shape().Equal(in.shape) {
-			return nil, fmt.Errorf("runtime: input %q shape %v, want %v", in.name, t.Shape(), in.shape)
-		}
+	if err := p.validateFeeds(feeds); err != nil {
+		return nil, err
 	}
 	for _, fa := range p.feedArgs {
 		s.args[fa.node][fa.arg] = feeds[fa.name]
@@ -458,13 +529,9 @@ func (s *Session) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error)
 
 	var err error
 	if s.concurrent {
-		err = s.runConcurrent(sp, traceOn)
+		err = s.runConcurrent(ctx, sp, traceOn)
 	} else {
-		for i := range p.nodes {
-			if err = s.runNode(int32(i), sp, traceOn); err != nil {
-				break
-			}
-		}
+		err = s.runSerial(ctx, sp, traceOn)
 	}
 	if err != nil {
 		return nil, err
@@ -480,6 +547,52 @@ func (s *Session) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error)
 		}
 	}
 	return s.results, nil
+}
+
+// runSerial executes the schedule in topological order on the calling
+// goroutine, checking for cancellation between node dispatches. With no
+// fault injector attached this loop performs zero heap allocations.
+func (s *Session) runSerial(ctx context.Context, sp *obs.Span, traceOn bool) error {
+	p := s.plan
+	for i := range p.nodes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if p.nodes[i].gpu && s.faults != nil {
+			ok, err := s.gpuGate(ctx, int32(i))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// Persistent GPU failure or quarantined device: re-execute
+				// on the host CPU with the same bit-identical kernels.
+				mCPUReexec.Inc()
+			}
+		}
+		if err := s.execNode(int32(i), sp, traceOn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execNode runs one node, converting an operator panic into a structured
+// *NodeError carrying the node, its device and the goroutine stack —
+// mirroring exec.Run's recovery — so a poisoned kernel surfaces as an
+// error instead of crashing the process (or deadlocking sibling lanes
+// under the concurrent scheduler).
+func (s *Session) execNode(i int32, parent *obs.Span, traceOn bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pn := &s.plan.nodes[i]
+			err = &NodeError{
+				Node: pn.name, Device: pn.device,
+				Cause: fmt.Errorf("panic: %v", r),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	return s.runNode(i, parent, traceOn)
 }
 
 // runNode executes one scheduled node into its arena slot.
@@ -533,17 +646,27 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool) error {
 	return nil
 }
 
+// redoFlag marks a channel entry as a CPU re-execution of a GPU-placed
+// node whose dispatch failed persistently (or whose device is
+// quarantined): the node runs on the CPU lane without re-entering the
+// fault gate. Plans are far below 2^30 nodes, so the bit is free.
+const redoFlag int32 = 1 << 30
+
 // runConcurrent dispatches nodes whose dependency count hits zero to a
 // bounded worker pool. Device semantics are honoured structurally: every
 // GPU-placed node goes through the GPU command-queue lane(s) (a single
 // in-order queue by default), CPU-fallback nodes run on the CPU pool and
 // overlap with the GPU, and device_copy nodes — placed on their consumer's
-// device — mark the queue-crossing points.
-func (s *Session) runConcurrent(sp *obs.Span, traceOn bool) error {
+// device — mark the queue-crossing points. With a fault injector attached,
+// GPU dispatches pass through the gate (breaker + retries) and persistent
+// failures bounce the node to the CPU lane; a panic in any worker lane
+// converts to a *NodeError without deadlocking sibling lanes. Context
+// cancellation is honoured between dispatches and inside the queue wait.
+func (s *Session) runConcurrent(ctx context.Context, sp *obs.Span, traceOn bool) error {
 	p := s.plan
 	n := len(p.nodes)
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	for i := range p.nodes {
 		s.pending[i] = p.nodes[i].pending
@@ -553,12 +676,20 @@ func (s *Session) runConcurrent(sp *obs.Span, traceOn bool) error {
 	}
 
 	gpuCh := make(chan int32, n)
-	cpuCh := make(chan int32, n)
+	cpuCh := make(chan int32, 2*n) // original CPU nodes + every possible GPU redo
 	done := make(chan struct{})
 	var closeOnce sync.Once
 	finish := func() { closeOnce.Do(func() { close(done) }) }
 	var errMu sync.Mutex
 	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		finish()
+	}
 	var remaining, inflight atomic.Int32
 	remaining.Store(int32(n))
 
@@ -576,21 +707,34 @@ func (s *Session) runConcurrent(sp *obs.Span, traceOn bool) error {
 		for {
 			select {
 			case i := <-ch:
-				if traceOn {
+				redo := i&redoFlag != 0
+				i &^= redoFlag
+				if traceOn && !redo {
 					mQueueWait.Observe(float64(time.Now().UnixNano() - s.readyNs[i]))
+				}
+				if p.nodes[i].gpu && !redo && s.faults != nil {
+					ok, gerr := s.gpuGate(ctx, i)
+					if gerr != nil {
+						setErr(gerr)
+						return
+					}
+					if !ok {
+						// Bounce to the CPU lane: the node re-executes
+						// there with the same bit-identical kernels.
+						mCPUReexec.Inc()
+						cpuCh <- i | redoFlag
+						continue
+					}
+				}
+				if traceOn {
 					mParallelNodes.Observe(float64(inflight.Add(1)))
 				}
-				err := s.runNode(i, sp, traceOn)
+				err := s.execNode(i, sp, traceOn)
 				if traceOn {
 					inflight.Add(-1)
 				}
 				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					finish()
+					setErr(err)
 					return
 				}
 				for _, c := range p.nodes[i].consumers {
@@ -627,6 +771,18 @@ func (s *Session) runConcurrent(sp *obs.Span, traceOn bool) error {
 	}
 	for w := 0; w < cpuWorkers; w++ {
 		go func() { defer wg.Done(); worker(cpuCh) }()
+	}
+	// Cancellation watcher: closing done releases every worker blocked on
+	// its queue (the "GPU queue wait"), so RunContext returns promptly.
+	// The watcher itself exits through done on normal completion.
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				setErr(ctx.Err())
+			case <-done:
+			}
+		}()
 	}
 	wg.Wait()
 	errMu.Lock()

@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"unigpu/internal/obs"
+	"unigpu/internal/tensor"
+)
+
+// ErrOverloaded is returned by SessionPool.Run when the admission
+// controller sheds the request: every pooled session is busy and the
+// bounded wait queue is full (or the request's deadline cannot be met).
+var ErrOverloaded = errors.New("runtime: session pool overloaded, request shed")
+
+var mAdmissionShed = obs.DefaultRegistry.Counter("admission.shed")
+
+// PoolOptions configures a SessionPool.
+type PoolOptions struct {
+	// Sessions is the number of pooled sessions — the maximum concurrent
+	// in-flight runs (default 1). Each costs one arena.
+	Sessions int
+	// QueueDepth bounds how many requests may wait for a session beyond
+	// the in-flight ones; a request arriving past that is shed immediately
+	// with ErrOverloaded (default 0: no queueing, shed as soon as every
+	// session is busy).
+	QueueDepth int
+	// Session configures every pooled session. When Session.Faults is set
+	// and Session.Breaker is nil, the pool installs one shared circuit
+	// breaker — the sessions serve the same simulated device, so its
+	// quarantine state must be shared.
+	Session SessionOptions
+}
+
+// SessionPool is the serving edge over one compiled Plan: a fixed set of
+// pooled sessions behind an admission controller. Run admits a request if
+// a session is idle or the bounded queue has room, sheds it with
+// ErrOverloaded otherwise (counter admission.shed), and honours request
+// deadlines while queued. All methods are safe for concurrent use.
+type SessionPool struct {
+	plan    *Plan
+	idle    chan *Session
+	breaker *Breaker
+	depth   int32
+	waiters atomic.Int32
+}
+
+// NewSessionPool builds the pool and preallocates every session's arena.
+func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
+	n := opts.Sessions
+	if n < 1 {
+		n = 1
+	}
+	so := opts.Session
+	if so.Faults != nil && so.Breaker == nil {
+		so.Breaker = NewBreaker(BreakerOptions{})
+	}
+	sp := &SessionPool{
+		plan:    p,
+		idle:    make(chan *Session, n),
+		breaker: so.Breaker,
+		depth:   int32(opts.QueueDepth),
+	}
+	for i := 0; i < n; i++ {
+		sp.idle <- p.NewSessionWith(so)
+	}
+	return sp
+}
+
+// Sessions is the pool size (maximum concurrent runs).
+func (sp *SessionPool) Sessions() int { return cap(sp.idle) }
+
+// Breaker returns the circuit breaker shared by the pooled sessions, or
+// nil when the pool runs without fault injection.
+func (sp *SessionPool) Breaker() *Breaker { return sp.breaker }
+
+// acquire admits the request and returns an idle session. Sheds with
+// ErrOverloaded when the queue is full; a request whose context is already
+// done — or whose deadline fires while queued — is shed with ctx.Err().
+func (sp *SessionPool) acquire(ctx context.Context) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		mAdmissionShed.Inc()
+		return nil, err
+	}
+	select {
+	case s := <-sp.idle:
+		return s, nil
+	default:
+	}
+	if sp.waiters.Add(1) > sp.depth {
+		sp.waiters.Add(-1)
+		mAdmissionShed.Inc()
+		return nil, ErrOverloaded
+	}
+	defer sp.waiters.Add(-1)
+	select {
+	case s := <-sp.idle:
+		return s, nil
+	case <-ctx.Done():
+		mAdmissionShed.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// Run admits the request, executes it on a pooled session, and returns
+// copies of the outputs (unlike Session.Run, the results own their storage
+// — the session and its arena go back to the pool before Run returns).
+func (sp *SessionPool) Run(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	s, err := sp.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := s.RunContext(ctx, feeds)
+	if err != nil {
+		sp.idle <- s
+		return nil, err
+	}
+	res := make([]*tensor.Tensor, len(outs))
+	for i, o := range outs {
+		res[i] = o.Clone()
+	}
+	sp.idle <- s
+	return res, nil
+}

@@ -94,6 +94,13 @@ type Device struct {
 	// BaseEfficiency is the fraction of peak a perfectly scheduled kernel
 	// reaches in practice on this device (driver, ISA and DVFS losses).
 	BaseEfficiency float64
+
+	// Faults optionally injects runtime failures into this device's
+	// simulated dispatches (nil = always healthy). The runtime consults it
+	// for every GPU-placed node; see FaultInjector. Attach per-Device —
+	// tests should copy a platform device rather than mutate the shared
+	// globals above.
+	Faults *FaultInjector
 }
 
 // Platform couples the integrated GPU with its companion CPU, mirroring the

@@ -29,6 +29,7 @@
 package unigpu
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -50,7 +51,34 @@ type (
 	Platform = sim.Platform
 	// Device is one compute device of an SoC.
 	Device = sim.Device
+
+	// FaultInjector deterministically injects simulated device failures
+	// (transient kernel faults, queue hangs, device loss, memory
+	// pressure) into GPU dispatches; attach one to a Device's Faults
+	// field or pass it in SessionOptions.
+	FaultInjector = sim.FaultInjector
+	// FaultConfig parameterizes random fault injection.
+	FaultConfig = sim.FaultConfig
+	// Breaker is the per-device circuit breaker quarantining a failing
+	// GPU (closed -> open -> half-open probe).
+	Breaker = runtime.Breaker
+	// NodeError is the structured failure of one graph node: the node,
+	// its device, the cause, and — for recovered panics — the stack.
+	NodeError = runtime.NodeError
 )
+
+// ErrOverloaded is returned by SessionPool.Run when the admission
+// controller sheds the request.
+var ErrOverloaded = runtime.ErrOverloaded
+
+// NewFaultInjector creates a deterministic fault injector drawing random
+// faults per cfg; attach it to a Device's Faults field (copy the shared
+// platform first) or pass it in SessionOptions.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return sim.NewFaultInjector(cfg) }
+
+// NewBreaker creates a closed per-device circuit breaker; zero options
+// select the defaults (threshold 3, probation 250ms).
+func NewBreaker(opts runtime.BreakerOptions) *Breaker { return runtime.NewBreaker(opts) }
 
 // The three evaluation platforms of the paper (§4.1).
 var (
@@ -300,11 +328,17 @@ func (cm *CompiledModel) NewSession() (*Session, error) {
 }
 
 // NewSessionWith opens a session with explicit scheduling options
-// (concurrent worker pool, simulated GPU command-queue streams, profiling).
+// (concurrent worker pool, simulated GPU command-queue streams, profiling,
+// fault tolerance). When no injector is given explicitly, the session
+// picks up the one attached to the platform's GPU device, so faults
+// injected at the device level reach every session automatically.
 func (cm *CompiledModel) NewSessionWith(opts SessionOptions) (*Session, error) {
 	plan, err := cm.Plan()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Faults == nil {
+		opts.Faults = cm.Platform.GPU.Faults
 	}
 	return &Session{
 		sess:  plan.NewSessionWith(opts),
@@ -315,13 +349,60 @@ func (cm *CompiledModel) NewSessionWith(opts SessionOptions) (*Session, error) {
 // Run executes one inference. The returned tensor is arena-backed: it is
 // valid until this session's next Run and must be copied to outlive it.
 func (s *Session) Run(input *Tensor) (*Tensor, error) {
+	return s.RunContext(context.Background(), input)
+}
+
+// RunContext is Run with cancellation: the context is honoured between
+// node dispatches and inside the simulated GPU queue wait, and a cancelled
+// run leaves the session reusable.
+func (s *Session) RunContext(ctx context.Context, input *Tensor) (*Tensor, error) {
 	s.feeds["data"] = input
-	outs, err := s.sess.Run(s.feeds)
+	outs, err := s.sess.RunContext(ctx, s.feeds)
 	if err != nil {
 		return nil, err
 	}
 	return outs[0], nil
 }
+
+// PoolOptions configures a SessionPool (see runtime.PoolOptions).
+type PoolOptions = runtime.PoolOptions
+
+// SessionPool is the serving edge over one compiled model: a fixed set of
+// pooled sessions behind an admission controller with a bounded wait
+// queue, deadline-aware load shedding (ErrOverloaded), and — under fault
+// injection — one circuit breaker shared by every pooled session.
+type SessionPool struct {
+	pool *runtime.SessionPool
+}
+
+// NewSessionPool opens a session pool. As with NewSessionWith, the
+// platform GPU's fault injector is picked up when none is set explicitly.
+func (cm *CompiledModel) NewSessionPool(opts PoolOptions) (*SessionPool, error) {
+	plan, err := cm.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Session.Faults == nil {
+		opts.Session.Faults = cm.Platform.GPU.Faults
+	}
+	return &SessionPool{pool: runtime.NewSessionPool(plan, opts)}, nil
+}
+
+// Run admits one inference request, executes it on a pooled session, and
+// returns a copy of the output (safe to keep; the session returns to the
+// pool). Requests past the pool's capacity and queue depth are shed with
+// ErrOverloaded; expired deadlines shed with ctx.Err().
+func (p *SessionPool) Run(ctx context.Context, input *Tensor) (*Tensor, error) {
+	outs, err := p.pool.Run(ctx, map[string]*tensor.Tensor{"data": input})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Breaker returns the pool's shared circuit breaker (nil without fault
+// injection).
+func (p *SessionPool) Breaker() *Breaker { return p.pool.Breaker() }
 
 // Run executes the compiled model functionally on the host and returns the
 // output tensor (class probabilities, or detections [class, score, box]).
@@ -333,6 +414,17 @@ func (cm *CompiledModel) Run(input *Tensor) (*Tensor, error) {
 		return nil, err
 	}
 	return res.Outputs[0], nil
+}
+
+// RunContext is Run with cancellation: a SIGINT-bound or deadline context
+// aborts the inference between node dispatches. Like NewSessionWith, it
+// honours a fault injector attached to the platform's GPU device.
+func (cm *CompiledModel) RunContext(ctx context.Context, input *Tensor) (*Tensor, error) {
+	s, err := cm.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunContext(ctx, input)
 }
 
 // GraphStats summarises the optimized graph.

@@ -1,8 +1,11 @@
 package unigpu
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 func TestCompileAndRunClassification(t *testing.T) {
@@ -84,6 +87,80 @@ func TestAiSageDefaultsTo300ForSSD(t *testing.T) {
 	}
 	if got := cm.InputShape()[2]; got != 300 {
 		t.Fatalf("aiSage SSD input = %d, want 300", got)
+	}
+}
+
+// TestDeviceAttachedFaultInjector: a fault injector attached to the
+// platform's GPU device reaches sessions automatically, degraded runs
+// stay bit-identical to healthy ones, and the session pool sheds excess
+// load with ErrOverloaded. The platform is copied so the shared globals
+// stay pristine for other tests.
+func TestDeviceAttachedFaultInjector(t *testing.T) {
+	gpu := *DeepLens.GPU
+	gpu.Faults = NewFaultInjector(FaultConfig{Seed: 9, Rate: 0.3, HangLatency: 20 * time.Microsecond})
+	plat := &Platform{Name: "flaky-deeplens", GPU: &gpu, CPU: DeepLens.CPU}
+
+	eng := NewEngine()
+	healthy, err := eng.Compile("SqueezeNet1.0", DeepLens, CompileOptions{InputSize: 64, SkipTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := eng.Compile("SqueezeNet1.0", plat, CompileOptions{InputSize: 64, SkipTuning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewTensor(healthy.InputShape()...)
+	in.FillRandom(17)
+	want, err := healthy.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := flaky.NewSessionWith(SessionOptions{RetryBackoff: 5 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.RunContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Faults.Total() == 0 {
+		t.Fatal("device-attached injector never reached the session")
+	}
+	for i, v := range want.Data() {
+		if got.Data()[i] != v {
+			t.Fatalf("degraded output differs from healthy at %d", i)
+		}
+	}
+
+	pool, err := flaky.NewSessionPool(PoolOptions{
+		Sessions: 2, QueueDepth: 2,
+		Session: SessionOptions{RetryBackoff: 5 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Breaker() == nil {
+		t.Fatal("fault-injected pool must install a shared breaker")
+	}
+	out, err := pool.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Data() {
+		if out.Data()[i] != v {
+			t.Fatalf("pooled output differs from healthy at %d", i)
+		}
+	}
+
+	// An already-cancelled context is shed before any node runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.Run(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pool run: got %v, want context.Canceled", err)
+	}
+	if _, err := sess.RunContext(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled session run: got %v, want context.Canceled", err)
 	}
 }
 
