@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench trace soak
+.PHONY: build test vet race verify bench bench-regress bench-baseline trace soak
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,23 @@ verify:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 20x ./internal/runtime ./internal/ops | tee bench.out
 	$(GO) run ./cmd/bench2json -in bench.out -out BENCH_runtime.json -maxallocs 'BenchmarkSessionRun=0'
+
+# bench-regress guards the serving hot path's wall clock: it re-runs the
+# gated benchmarks (best of -count 3) and compares against the committed
+# BENCH_baseline.json, failing on a >15% ns/op regression. The comparison
+# skips itself with a warning when the baseline was recorded on a
+# different CPU. After an intentional performance change, refresh the
+# baseline with `make bench-baseline` and commit it.
+GATED_BENCH  = BenchmarkSessionRun$$|BenchmarkConv2DInto$$|BenchmarkDenseInto$$
+GATED_NAMES  = BenchmarkSessionRun,BenchmarkConv2DInto,BenchmarkDenseInto
+
+bench-regress:
+	$(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -benchtime 200x -count 3 ./internal/runtime ./internal/ops | tee bench_regress.out
+	$(GO) run ./cmd/bench2json -in bench_regress.out -out '' -baseline BENCH_baseline.json -maxregress 15 -gated '$(GATED_NAMES)'
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -benchtime 200x -count 3 ./internal/runtime ./internal/ops | tee bench_regress.out
+	$(GO) run ./cmd/bench2json -in bench_regress.out -out BENCH_baseline.json
 
 # soak hammers the fault-tolerant runtime: 500 session runs with seeded
 # random fault injection (transient kernels, queue hangs, device loss,

@@ -4,6 +4,15 @@
 // gate on allocation regressions: -maxallocs "BenchmarkSessionRun=0" exits
 // non-zero if the named benchmark reports more allocs/op than allowed (or
 // is missing from the input entirely).
+//
+// With -baseline it additionally gates on wall-clock regressions: the
+// fresh results are compared against a committed baseline JSON (make
+// bench-regress compares against BENCH_baseline.json) and the run fails
+// when a gated benchmark's best (minimum) ns/op exceeds the baseline's
+// best by more than -maxregress percent. Run benchmarks with -count > 1
+// so the minimum is meaningful. The comparison is skipped with a warning
+// when the baseline was recorded on a different CPU — cross-machine
+// ns/op deltas measure the machine, not the change.
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +52,12 @@ func main() {
 	out := flag.String("out", "BENCH_runtime.json", "JSON file to write")
 	maxAllocs := flag.String("maxallocs", "",
 		`comma-separated allocation gates, e.g. "BenchmarkSessionRun=0"; a named benchmark exceeding its limit (or absent from the input) fails the run`)
+	baseline := flag.String("baseline", "",
+		"committed baseline JSON (a previous -out file) to compare wall clock against")
+	maxRegress := flag.Float64("maxregress", 15,
+		"with -baseline: fail when a gated benchmark's best ns/op exceeds the baseline's best by more than this percentage")
+	gated := flag.String("gated", "",
+		`with -baseline: comma-separated benchmark names to gate (matched after stripping the -<procs> suffix); empty gates every name present in both runs`)
 	flag.Parse()
 
 	r := os.Stdin
@@ -87,12 +103,107 @@ func main() {
 		}
 		fmt.Printf("bench2json: %d results -> %s\n", len(file.Results), *out)
 	}
+	failed := false
 	if errs := checkAllocGates(*maxAllocs, file.Results); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "bench2json:", e)
 		}
+		failed = true
+	}
+	if *baseline != "" {
+		if errs := checkRegression(*baseline, *maxRegress, *gated, file); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "bench2json:", e)
+			}
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// normName strips the GOMAXPROCS suffix go test appends (-8 in
+// "BenchmarkSessionRun-8"), so runs from machines with different core
+// counts compare by benchmark identity.
+func normName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// bestNs folds results to the minimum ns/op per normalized name — the
+// least-noisy estimate of a benchmark's true cost across -count repeats.
+func bestNs(results []Result) map[string]float64 {
+	best := map[string]float64{}
+	for _, r := range results {
+		n := normName(r.Name)
+		if v, ok := best[n]; !ok || r.NsPerOp < v {
+			best[n] = r.NsPerOp
+		}
+	}
+	return best
+}
+
+// checkRegression compares the fresh results against a baseline file and
+// returns one error per gated benchmark whose best ns/op regressed past
+// maxPct. A CPU-string mismatch skips the whole comparison with a warning
+// (cross-machine deltas measure the machine); a gated name missing from
+// the fresh run is an error so a renamed benchmark cannot silently drop
+// its gate, while one missing from the baseline only warns (it is new).
+func checkRegression(path string, maxPct float64, gated string, cur File) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("read baseline: %v", err)}
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return []string{fmt.Sprintf("parse baseline %s: %v", path, err)}
+	}
+	if base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
+		fmt.Fprintf(os.Stderr, "bench2json: baseline CPU %q != current CPU %q, skipping regression compare\n",
+			base.CPU, cur.CPU)
+		return nil
+	}
+	baseBest, curBest := bestNs(base.Results), bestNs(cur.Results)
+
+	var names []string
+	if gated != "" {
+		for _, n := range strings.Split(gated, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	} else {
+		for n := range curBest {
+			if _, ok := baseBest[n]; ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+	}
+
+	var errs []string
+	for _, n := range names {
+		c, okC := curBest[n]
+		b, okB := baseBest[n]
+		switch {
+		case !okC:
+			errs = append(errs, fmt.Sprintf("gated benchmark %q missing from the fresh run", n))
+		case !okB:
+			fmt.Fprintf(os.Stderr, "bench2json: %s not in baseline %s, skipping (new benchmark?)\n", n, path)
+		case c > b*(1+maxPct/100):
+			errs = append(errs, fmt.Sprintf("%s regressed: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit %.0f%%)",
+				n, c, b, 100*(c/b-1), maxPct))
+		default:
+			fmt.Printf("bench2json: %s ok: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n",
+				n, c, b, 100*(c/b-1))
+		}
+	}
+	return errs
 }
 
 // checkAllocGates enforces "Name=maxAllocs" specs against the parsed

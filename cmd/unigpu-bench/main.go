@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -50,10 +51,20 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0.2, "faults: per-dispatch injection probability")
 	faultSeed := flag.Int64("fault-seed", 1, "faults: injector RNG seed")
 	faultHang := flag.Duration("fault-hang", 200*time.Microsecond, "faults: injected queue-hang stall")
+	profile := flag.Bool("profile", false, "print the continuous profiler's rolling top-K table after the run (pool serving samples by default; this also attaches the profiler to pool-less -streams sessions)")
+	listen := flag.String("listen", "", "serve live telemetry on this address for the run's duration: /metrics (Prometheus), /healthz, /debug/plans, /debug/requests, /debug/profile")
 	flag.Parse()
 
 	if *trace != "" || *metrics {
 		obs.Enable()
+	}
+	if *listen != "" {
+		srv, err := unigpu.ServeTelemetry(*listen)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry on http://%s/metrics", srv.Addr())
 	}
 	if *faults && *streams == 0 {
 		faultsTable(ctx)
@@ -67,7 +78,7 @@ func main() {
 		if *faults {
 			cfg = &sim.FaultConfig{Seed: *faultSeed, Rate: *faultRate, HangLatency: *faultHang}
 		}
-		serve(ctx, *model, *size, *streams, *requests, *workers, *gpuStreams, cfg)
+		serve(ctx, *model, *size, *streams, *requests, *workers, *gpuStreams, cfg, *profile, *jsonPath)
 		if *metrics {
 			fmt.Print(obs.DumpMetrics())
 		}
@@ -224,14 +235,40 @@ func buildModelPlanInput(name string, size int) *modelPlanInput {
 	return &modelPlanInput{graph: m.Graph, feeds: map[string]*tensor.Tensor{"data": feed}}
 }
 
+// servingReport is the machine-readable result of one serving run
+// (-streams with -json): throughput and latency, and — under fault
+// injection — the degraded-mode counters, breaker state, rolling SLO
+// stats and the profiler's top-K table.
+type servingReport struct {
+	Model         string                  `json:"model"`
+	Size          int                     `json:"size"`
+	Streams       int                     `json:"streams"`
+	Workers       int                     `json:"workers"`
+	GPUStreams    int                     `json:"gpu_streams"`
+	Completed     int                     `json:"requests_completed"`
+	WallMs        float64                 `json:"wall_ms"`
+	QPS           float64                 `json:"qps"`
+	P50Us         float64                 `json:"p50_us"`
+	P99Us         float64                 `json:"p99_us"`
+	Shed          int                     `json:"shed"`
+	Faults        map[string]int64        `json:"faults,omitempty"`
+	Retries       int64                   `json:"retries,omitempty"`
+	CPUReexec     int64                   `json:"cpu_reexec,omitempty"`
+	AdmissionShed int64                   `json:"admission_shed,omitempty"`
+	Breaker       string                  `json:"breaker,omitempty"`
+	SLO           []unigpu.SLOStats       `json:"slo,omitempty"`
+	Profile       *unigpu.ProfileSnapshot `json:"profile,omitempty"`
+}
+
 // serve runs the concurrent-client throughput benchmark: one compiled
 // plan, N clients issuing R back-to-back requests each. Without faults
 // every client owns a pooled session; with a fault config the clients go
 // through a SessionPool (admission control, shared circuit breaker) with
 // seeded random faults injected into every GPU dispatch, and the report
-// adds the degraded-mode counters. Reports aggregate QPS and per-request
-// p50/p99.
-func serve(ctx context.Context, model string, size, streams, requests, workers, gpuStreams int, faultCfg *sim.FaultConfig) {
+// adds the degraded-mode counters plus the rolling SLO lines. Reports
+// aggregate QPS and per-request p50/p99; jsonPath writes the full
+// machine-readable servingReport.
+func serve(ctx context.Context, model string, size, streams, requests, workers, gpuStreams int, faultCfg *sim.FaultConfig, profile bool, jsonPath string) {
 	eng := unigpu.NewEngine()
 	cm, err := eng.Compile(model, unigpu.DeepLens, unigpu.CompileOptions{InputSize: size, SkipTuning: true})
 	if err != nil {
@@ -245,6 +282,11 @@ func serve(ctx context.Context, model string, size, streams, requests, workers, 
 		model, size, plan.NumNodes(), plan.ArenaBytes()/1024, plan.PeakLiveBytes()/1024, plan.IntermediateBytes()/1024)
 
 	opts := unigpu.SessionOptions{Workers: workers, GPUStreams: gpuStreams}
+	if profile {
+		// Pool serving attaches the default profiler automatically; attach
+		// it to pool-less per-client sessions too so -profile has data.
+		opts.Profiler = obs.DefaultProfiler
+	}
 	var pool *unigpu.SessionPool
 	var inj *sim.FaultInjector
 	if faultCfg != nil {
@@ -328,12 +370,25 @@ func serve(ctx context.Context, model string, size, streams, requests, workers, 
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	rep := servingReport{
+		Model: model, Size: size, Streams: streams, Workers: workers, GPUStreams: gpuStreams,
+		Completed: len(all), WallMs: float64(wall.Microseconds()) / 1e3,
+		QPS:   float64(len(all)) / wall.Seconds(),
+		P50Us: float64(pct(0.50).Nanoseconds()) / 1e3,
+		P99Us: float64(pct(0.99).Nanoseconds()) / 1e3,
+		Shed:  totalShed,
+	}
 	fmt.Printf("streams=%d workers=%d gpu-streams=%d: %d requests in %v\n",
 		streams, workers, gpuStreams, len(all), wall.Round(time.Millisecond))
 	fmt.Printf("  throughput %.1f req/s, latency p50 %v p99 %v\n",
-		float64(len(all))/wall.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+		rep.QPS, pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	if inj != nil {
 		reg := obs.DefaultRegistry
+		rep.Faults = inj.Counts()
+		rep.Retries = reg.Counter("fault.retries").Value()
+		rep.CPUReexec = reg.Counter("fault.cpu_reexec").Value()
+		rep.AdmissionShed = reg.Counter("admission.shed").Value()
+		rep.Breaker = pool.Breaker().State().String()
 		fmt.Printf("  degraded mode: %d faults injected", inj.Total())
 		for _, k := range sim.AllFaultKinds {
 			if n := inj.Injected(k); n > 0 {
@@ -341,8 +396,28 @@ func serve(ctx context.Context, model string, size, streams, requests, workers, 
 			}
 		}
 		fmt.Printf("\n  retries %d, cpu re-exec %d, shed %d, breaker %v\n",
-			reg.Counter("fault.retries").Value(), reg.Counter("fault.cpu_reexec").Value(),
-			totalShed, pool.Breaker().State())
+			rep.Retries, rep.CPUReexec, totalShed, pool.Breaker().State())
+		rep.SLO = unigpu.SLOReport()
+		for _, line := range strings.Split(strings.TrimRight(obs.FormatSLO(rep.SLO), "\n"), "\n") {
+			if line != "" {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+	if profile {
+		snap := unigpu.Profile()
+		rep.Profile = &snap
+		fmt.Print(obs.FormatProfile(snap))
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal serving report: %v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("write serving report: %v", err)
+		}
+		log.Printf("serving report written to %s", jsonPath)
 	}
 }
 

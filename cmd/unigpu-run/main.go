@@ -33,10 +33,19 @@ func main() {
 	list := flag.Bool("list", false, "list models and platforms")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
+	listen := flag.String("listen", "", "serve live telemetry on this address for the run's duration (/metrics, /healthz, /debug/plans)")
 	flag.Parse()
 
 	if *trace != "" || *metrics {
 		obs.Enable()
+	}
+	if *listen != "" {
+		srv, err := unigpu.ServeTelemetry(*listen)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry on http://%s/metrics", srv.Addr())
 	}
 
 	if *list {

@@ -40,10 +40,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "search RNG seed")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after tuning")
+	listen := flag.String("listen", "", "serve live telemetry on this address for the run's duration (/metrics, /healthz, /debug/plans)")
 	flag.Parse()
 
 	if *trace != "" || *metrics {
 		obs.Enable()
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen)
+		if err != nil {
+			log.Fatalf("telemetry listen: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry on http://%s/metrics", srv.Addr())
 	}
 
 	var platform *sim.Platform

@@ -26,10 +26,19 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// LaneAttr is the reserved span attribute naming the dispatch lane a span
+// ran on (e.g. "gpu/0", "cpu/2"). The Chrome exporter maps each distinct
+// lane to its own tid so concurrent GPU command queues and CPU workers
+// render as separate tracks instead of stacking on one row.
+const LaneAttr = "lane"
+
 // WriteChromeTrace exports the tracer's finished spans as Chrome
 // trace-event JSON. Span identity and parentage are preserved in each
 // event's args ("span_id", "parent_id") so tools and tests can recover the
 // exact hierarchy; viewers additionally nest events by time containment.
+// Spans carrying the LaneAttr attribute land on per-lane tids, announced
+// with "thread_name" metadata events; traces without lanes keep the single
+// tid 1 and emit no metadata.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	t.mu.Lock()
 	epoch := t.epoch
@@ -46,15 +55,57 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return recs[i].ID < recs[j].ID
 	})
 
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(recs))}
+	// Assign tids: 1 is the unlaned main track; each distinct lane gets the
+	// next tid in sorted-name order so the mapping is deterministic.
+	laneOf := func(r SpanRecord) string {
+		for _, a := range r.Attrs {
+			if a.Key == LaneAttr {
+				return a.Value
+			}
+		}
+		return ""
+	}
+	laneSet := map[string]bool{}
 	for _, r := range recs {
+		if lane := laneOf(r); lane != "" {
+			laneSet[lane] = true
+		}
+	}
+	lanes := make([]string, 0, len(laneSet))
+	for lane := range laneSet {
+		lanes = append(lanes, lane)
+	}
+	sort.Strings(lanes)
+	laneTid := make(map[string]int, len(lanes))
+	for i, lane := range lanes {
+		laneTid[lane] = i + 2
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(recs)+len(lanes))}
+	if len(lanes) > 0 {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]string{"name": "main"},
+		})
+		for _, lane := range lanes {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: laneTid[lane],
+				Args: map[string]string{"name": lane},
+			})
+		}
+	}
+	for _, r := range recs {
+		tid := 1
+		if lane := laneOf(r); lane != "" {
+			tid = laneTid[lane]
+		}
 		ev := chromeEvent{
 			Name: r.Name,
 			Ph:   "X",
 			Ts:   float64(r.Start.Sub(epoch).Nanoseconds()) / 1e3,
 			Dur:  float64(r.Duration.Nanoseconds()) / 1e3,
 			Pid:  1,
-			Tid:  1,
+			Tid:  tid,
 			Args: map[string]string{
 				"span_id":   strconv.FormatInt(r.ID, 10),
 				"parent_id": strconv.FormatInt(r.ParentID, 10),

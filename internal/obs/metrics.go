@@ -102,33 +102,73 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Quantile estimates the q-quantile (0..1) from the bucket upper bounds;
-// coarse (factor-of-two) but monotone and allocation-free.
+// Quantile estimates the q-quantile (0..1) by linear interpolation between
+// per-sample position estimates, clamped to the observed [min, max]. The
+// estimate for a position inside a bucket interpolates across the bucket's
+// value range instead of snapping to its upper bound, so a population
+// sitting exactly on a bucket boundary (e.g. every sample equal) reports
+// the true value rather than up to 2x high, and quantiles stay monotone
+// in q. Allocation-free.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.n == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
+	if q <= 0 {
+		return h.min
 	}
+	if q >= 1 {
+		return h.max
+	}
+	r := q * float64(h.n-1)
+	k := int64(r)
+	v := h.valueAt(k)
+	if frac := r - float64(k); frac > 0 && k+1 < h.n {
+		v += frac * (h.valueAt(k+1) - v)
+	}
+	return v
+}
+
+// valueAt estimates the value of the k-th (0-based) sample in sorted
+// order: the midpoint-interpolated position inside its bucket, with the
+// bucket's range clamped to the observed [min, max].
+func (h *Histogram) valueAt(k int64) float64 {
 	var seen int64
 	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			ub := math.Pow(2, float64(i))
-			if ub > h.max {
-				ub = h.max
-			}
-			if ub < h.min {
-				ub = h.min
-			}
-			return ub
+		if c == 0 {
+			continue
 		}
+		if k < seen+c {
+			lo, hi := bucketBounds(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (float64(k-seen) + 0.5) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += c
 	}
 	return h.max
+}
+
+// bucketBounds returns bucket i's value range: bucket 0 holds samples
+// <= 1, bucket i holds (2^(i-1), 2^i].
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Pow(2, float64(i-1)), math.Pow(2, float64(i))
 }
 
 // Registry holds named metrics. Lookups create on first use, so the

@@ -231,14 +231,24 @@ func (s *Session) backoffFor(attempt int) time.Duration {
 // non-nil error is terminal (context cancelled during a hang or backoff).
 func (s *Session) gpuGate(ctx context.Context, i int32) (ok bool, err error) {
 	pn := &s.plan.nodes[i]
+	req := s.req // sampled request recorder, nil on the fault-free hot path
 	if !s.breaker.Allow() {
 		return false, nil // quarantined: route to CPU without dispatching
 	}
 	for attempt := 0; ; attempt++ {
+		var t0 time.Time
+		if req != nil {
+			t0 = time.Now()
+		}
 		derr := s.faults.Dispatch(ctx, pn.name)
 		if derr == nil {
 			s.breaker.Success()
 			return true, nil
+		}
+		if req != nil {
+			// Attribute the failed dispatch — including an injected queue
+			// hang — to the request's retry segment.
+			req.AddRetry(time.Since(t0))
 		}
 		if ctx.Err() != nil {
 			return false, ctx.Err()
@@ -246,7 +256,14 @@ func (s *Session) gpuGate(ctx context.Context, i int32) (ok bool, err error) {
 		var f *sim.Fault
 		if errors.As(derr, &f) && f.Transient() && attempt < s.maxRetries {
 			mFaultRetries.Inc()
-			if !sleepCtx(ctx, s.backoffFor(attempt)) {
+			if req != nil {
+				t0 = time.Now()
+			}
+			slept := sleepCtx(ctx, s.backoffFor(attempt))
+			if req != nil {
+				req.AddRetry(time.Since(t0)) // backoff is retry time too
+			}
+			if !slept {
 				return false, ctx.Err()
 			}
 			continue

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,7 @@ type feedArg struct {
 type planNode struct {
 	name     string
 	kind     string
+	profKind string // kind refined by the selected kernel (e.g. conv2d/gemm)
 	device   graph.DeviceClass
 	op       graph.Operator
 	into     graph.IntoOperator // nil: fall back to Execute + copy
@@ -100,6 +102,8 @@ type Plan struct {
 	arenaElems int
 	peakLive   int // refcount-liveness peak, as the seed executor measured
 	interBytes int // total intermediate bytes per run (without reuse)
+
+	label atomic.Pointer[string] // telemetry label, see SetLabel
 }
 
 // NewPlan validates and compiles the graph into an execution plan.
@@ -147,10 +151,12 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 		// Prepack conv weights for the selected kernel. Only convs with
 		// constant weights qualify (a fed or computed weight could change
 		// between runs); those fall back to the generic ExecuteInto path.
+		pn.profKind = pn.kind
 		if convOp, ok := n.Op.(*graph.ConvOp); ok &&
 			len(n.Inputs) > 1 && n.Inputs[1].IsConstant() {
 			pn.conv = ops.PrepareConv(convOp.W, convOp.Kernel, n.Inputs[1].Value)
 			pn.scratchElems = pn.conv.ScratchElems()
+			pn.profKind = pn.kind + "/" + pn.conv.Kernel().String()
 			obs.Count("kernel.selected."+pn.conv.Kernel().String(), 1)
 		}
 		pn.args = make([]valueRef, len(n.Inputs))
@@ -327,6 +333,7 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 			p.outputs[k] = valueRef{kind: srcNode, node: idx[o]}
 		}
 	}
+	registerPlan(p)
 	return p, nil
 }
 
@@ -362,6 +369,16 @@ type SessionOptions struct {
 	// Profile enables per-node NodeProfile collection (off by default so
 	// the hot path stays allocation-free).
 	Profile bool
+
+	// Model labels this session's telemetry — profiler rows, request
+	// traces and SLO windows (default "default"). unigpu sets it to the
+	// compiled model's name.
+	Model string
+	// Profiler receives sampled per-node timings from this session's runs
+	// (nil: none). Handles are resolved once here, so a sampled run costs
+	// two clock reads per node and no allocations. SessionPool installs
+	// obs.DefaultProfiler unless telemetry is disabled.
+	Profiler *obs.Profiler
 
 	// Faults attaches a simulated device-fault injector: every GPU-placed
 	// node's dispatch passes through it, and injected faults exercise the
@@ -400,6 +417,17 @@ type Session struct {
 	pending    []int32
 	profile    []NodeProfile
 	readyNs    []int64 // per-node enqueue time, tracing only
+
+	// Telemetry. profH holds the per-node profiler handles resolved at
+	// construction; req and profSampled are per-run state set by RunContext
+	// before any worker lane starts (and therefore safely read by all of
+	// them). laneGPU/laneCPU are the precomputed dispatch-lane names.
+	prof        *obs.Profiler
+	profH       []obs.ProfHandle
+	profSampled bool
+	req         *obs.ActiveRequest
+	laneGPU     []string
+	laneCPU     []string
 
 	// Fault tolerance (see SessionOptions).
 	faults       *sim.FaultInjector
@@ -466,6 +494,39 @@ func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
 	if opts.Profile {
 		s.profile = make([]NodeProfile, len(p.nodes))
 	}
+
+	// Telemetry: dispatch-lane names (serial sessions use gpu/0 and cpu/0)
+	// and, with a profiler attached, one pre-resolved handle per node so
+	// sampled runs record without a map lookup or allocation.
+	gpuLanes, cpuLanes := 1, 1
+	if opts.GPUStreams > gpuLanes {
+		gpuLanes = opts.GPUStreams
+	}
+	if opts.Workers > cpuLanes {
+		cpuLanes = opts.Workers
+	}
+	s.laneGPU = make([]string, gpuLanes)
+	for i := range s.laneGPU {
+		s.laneGPU[i] = "gpu/" + strconv.Itoa(i)
+	}
+	s.laneCPU = make([]string, cpuLanes)
+	for i := range s.laneCPU {
+		s.laneCPU[i] = "cpu/" + strconv.Itoa(i)
+	}
+	if opts.Profiler != nil {
+		model := opts.Model
+		if model == "" {
+			model = "default"
+		}
+		s.prof = opts.Profiler
+		s.profH = make([]obs.ProfHandle, len(p.nodes))
+		for i := range p.nodes {
+			pn := &p.nodes[i]
+			s.profH[i] = s.prof.Handle(obs.ProfKey{
+				Model: model, Node: pn.name, Kind: pn.profKind, Device: pn.device.String(),
+			})
+		}
+	}
 	return s
 }
 
@@ -520,6 +581,12 @@ func (s *Session) RunContext(ctx context.Context, feeds map[string]*tensor.Tenso
 	}
 
 	traceOn := obs.Enabled()
+	// Per-run telemetry state: the request recorder rides the context (only
+	// sampled requests carry one), and the profiler admits 1 in N runs. Both
+	// are read-only while worker lanes exist, so setting them here is safe.
+	s.req = obs.RequestFromContext(ctx)
+	s.profSampled = s.profH != nil && s.prof.SampleRun()
+	defer s.clearRunTelemetry()
 	sp := obs.Start("runtime.execute")
 	if traceOn {
 		sp.SetAttrs(obs.KVInt("nodes", len(p.nodes)))
@@ -558,6 +625,7 @@ func (s *Session) runSerial(ctx context.Context, sp *obs.Span, traceOn bool) err
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		redo := false
 		if p.nodes[i].gpu && s.faults != nil {
 			ok, err := s.gpuGate(ctx, int32(i))
 			if err != nil {
@@ -567,9 +635,14 @@ func (s *Session) runSerial(ctx context.Context, sp *obs.Span, traceOn bool) err
 				// Persistent GPU failure or quarantined device: re-execute
 				// on the host CPU with the same bit-identical kernels.
 				mCPUReexec.Inc()
+				redo = true
 			}
 		}
-		if err := s.execNode(int32(i), sp, traceOn); err != nil {
+		lane := s.laneCPU[0]
+		if p.nodes[i].gpu && !redo {
+			lane = s.laneGPU[0]
+		}
+		if err := s.execNode(int32(i), sp, traceOn, lane, redo); err != nil {
 			return err
 		}
 	}
@@ -581,7 +654,7 @@ func (s *Session) runSerial(ctx context.Context, sp *obs.Span, traceOn bool) err
 // mirroring exec.Run's recovery — so a poisoned kernel surfaces as an
 // error instead of crashing the process (or deadlocking sibling lanes
 // under the concurrent scheduler).
-func (s *Session) execNode(i int32, parent *obs.Span, traceOn bool) (err error) {
+func (s *Session) execNode(i int32, parent *obs.Span, traceOn bool, lane string, redo bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			pn := &s.plan.nodes[i]
@@ -592,21 +665,33 @@ func (s *Session) execNode(i int32, parent *obs.Span, traceOn bool) (err error) 
 			}
 		}
 	}()
-	return s.runNode(i, parent, traceOn)
+	return s.runNode(i, parent, traceOn, lane, redo)
 }
 
-// runNode executes one scheduled node into its arena slot.
-func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool) error {
+// clearRunTelemetry drops the per-run telemetry state when RunContext
+// returns, so a finished request is not held past its run.
+func (s *Session) clearRunTelemetry() {
+	s.req = nil
+	s.profSampled = false
+}
+
+// runNode executes one scheduled node into its arena slot. lane names the
+// dispatch lane the node ran on (e.g. gpu/0, cpu/1) and redo marks a CPU
+// re-execution of a failed GPU dispatch; both flow into the node's trace
+// span, the sampled profiler, and the request recorder when present.
+func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool, lane string, redo bool) error {
 	pn := &s.plan.nodes[i]
 	ins := s.args[i]
 	var nsp *obs.Span
 	if traceOn {
 		nsp = parent.Child("node:"+pn.name,
-			obs.KV("kind", pn.kind), obs.KV("device", pn.device.String()))
+			obs.KV("kind", pn.kind), obs.KV("device", pn.device.String()),
+			obs.KV(obs.LaneAttr, lane))
 	}
 	profiled := s.profile != nil
+	timed := profiled || traceOn || s.profSampled || s.req != nil
 	var start time.Time
-	if profiled || traceOn {
+	if timed {
 		start = time.Now()
 	}
 	if pn.conv != nil {
@@ -629,7 +714,7 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool) error {
 		}
 		copy(s.outs[i].Data(), out.Data())
 	}
-	if profiled || traceOn {
+	if timed {
 		wall := time.Since(start)
 		if traceOn {
 			nsp.SetAttrs(obs.KVInt("out_bytes", 4*pn.elems))
@@ -642,6 +727,10 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool) error {
 				Wall: wall, OutBytes: 4 * pn.elems,
 			}
 		}
+		if s.profSampled {
+			s.profH[i].Record(float64(wall.Nanoseconds()))
+		}
+		s.req.AddNode(pn.name, pn.profKind, lane, start, wall, redo) // nil-safe
 	}
 	return nil
 }
@@ -703,7 +792,7 @@ func (s *Session) runConcurrent(ctx context.Context, sp *obs.Span, traceOn bool)
 			cpuCh <- i
 		}
 	}
-	worker := func(ch <-chan int32) {
+	worker := func(ch <-chan int32, lane string) {
 		for {
 			select {
 			case i := <-ch:
@@ -729,7 +818,7 @@ func (s *Session) runConcurrent(ctx context.Context, sp *obs.Span, traceOn bool)
 				if traceOn {
 					mParallelNodes.Observe(float64(inflight.Add(1)))
 				}
-				err := s.execNode(i, sp, traceOn)
+				err := s.execNode(i, sp, traceOn, lane, redo)
 				if traceOn {
 					inflight.Add(-1)
 				}
@@ -767,10 +856,12 @@ func (s *Session) runConcurrent(ctx context.Context, sp *obs.Span, traceOn bool)
 	var wg sync.WaitGroup
 	wg.Add(gpuWorkers + cpuWorkers)
 	for w := 0; w < gpuWorkers; w++ {
-		go func() { defer wg.Done(); worker(gpuCh) }()
+		lane := s.laneGPU[w]
+		go func() { defer wg.Done(); worker(gpuCh, lane) }()
 	}
 	for w := 0; w < cpuWorkers; w++ {
-		go func() { defer wg.Done(); worker(cpuCh) }()
+		lane := s.laneCPU[w]
+		go func() { defer wg.Done(); worker(cpuCh, lane) }()
 	}
 	// Cancellation watcher: closing done releases every worker blocked on
 	// its queue (the "GPU queue wait"), so RunContext returns promptly.

@@ -3,7 +3,9 @@ package runtime
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"unigpu/internal/obs"
 	"unigpu/internal/tensor"
@@ -29,8 +31,18 @@ type PoolOptions struct {
 	// Session configures every pooled session. When Session.Faults is set
 	// and Session.Breaker is nil, the pool installs one shared circuit
 	// breaker — the sessions serve the same simulated device, so its
-	// quarantine state must be shared.
+	// quarantine state must be shared. Session.Model labels every pool
+	// metric, trace and SLO window (default "default").
 	Session SessionOptions
+
+	// Requests assigns request IDs and samples per-request traces (default
+	// obs.DefaultRequests). SLO is the rolling health monitor (default
+	// obs.DefaultSLO). DisableTelemetry turns the pool's telemetry off
+	// entirely: no request tracking, no SLO, no profiler, no gauges, no
+	// health registration.
+	Requests         *obs.RequestTracker
+	SLO              *obs.SLOMonitor
+	DisableTelemetry bool
 }
 
 // SessionPool is the serving edge over one compiled Plan: a fixed set of
@@ -38,12 +50,28 @@ type PoolOptions struct {
 // a session is idle or the bounded queue has room, sheds it with
 // ErrOverloaded otherwise (counter admission.shed), and honours request
 // deadlines while queued. All methods are safe for concurrent use.
+//
+// By default every request gets an ID (sampled ones a full trace), the
+// pooled sessions feed obs.DefaultProfiler, finished requests land in
+// obs.DefaultSLO's rolling windows, and the pool registers a /healthz
+// source reflecting breaker and occupancy state. PoolOptions.
+// DisableTelemetry opts out of all of it.
 type SessionPool struct {
 	plan    *Plan
 	idle    chan *Session
 	breaker *Breaker
 	depth   int32
 	waiters atomic.Int32
+
+	// Telemetry (nil/zero when disabled). Gauge and histogram handles are
+	// resolved once; Registry.Reset zeroes them in place, keeping handles
+	// valid.
+	model      string
+	requests   *obs.RequestTracker
+	slo        *obs.SLOMonitor
+	gInflight  *obs.Gauge
+	gWait      *obs.Gauge
+	hQueueWait *obs.Histogram
 }
 
 // NewSessionPool builds the pool and preallocates every session's arena.
@@ -56,16 +84,56 @@ func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
 	if so.Faults != nil && so.Breaker == nil {
 		so.Breaker = NewBreaker(BreakerOptions{})
 	}
+	model := so.Model
+	if model == "" {
+		model = "default"
+	}
+	if !opts.DisableTelemetry && so.Profiler == nil {
+		so.Profiler = obs.DefaultProfiler
+	}
 	sp := &SessionPool{
 		plan:    p,
 		idle:    make(chan *Session, n),
 		breaker: so.Breaker,
 		depth:   int32(opts.QueueDepth),
+		model:   model,
+	}
+	if !opts.DisableTelemetry {
+		sp.requests = opts.Requests
+		if sp.requests == nil {
+			sp.requests = obs.DefaultRequests
+		}
+		sp.slo = opts.SLO
+		if sp.slo == nil {
+			sp.slo = obs.DefaultSLO
+		}
+		sp.gInflight = obs.DefaultRegistry.Gauge("pool.in_flight." + model)
+		sp.gWait = obs.DefaultRegistry.Gauge("pool.wait_queue." + model)
+		sp.hQueueWait = obs.DefaultRegistry.Histogram("pool.queue_wait_ns")
+		sp.gInflight.Set(0)
+		sp.gWait.Set(0)
+		sp.registerHealth()
 	}
 	for i := 0; i < n; i++ {
 		sp.idle <- p.NewSessionWith(so)
 	}
 	return sp
+}
+
+// registerHealth wires the pool into /healthz: unhealthy while the shared
+// circuit breaker has the device quarantined, with breaker state and
+// occupancy in the detail either way. A later pool serving the same model
+// replaces the entry.
+func (sp *SessionPool) registerHealth() {
+	obs.RegisterHealth("pool."+sp.model, func() obs.HealthStatus {
+		st := sp.breaker.State()
+		busy := cap(sp.idle) - len(sp.idle)
+		return obs.HealthStatus{
+			OK: st != BreakerOpen,
+			Detail: fmt.Sprintf("breaker %s, %d/%d sessions busy, %d queued",
+				st, busy, cap(sp.idle), sp.waiters.Load()),
+		}
+	})
 }
 
 // Sessions is the pool size (maximum concurrent runs).
@@ -78,13 +146,17 @@ func (sp *SessionPool) Breaker() *Breaker { return sp.breaker }
 // acquire admits the request and returns an idle session. Sheds with
 // ErrOverloaded when the queue is full; a request whose context is already
 // done — or whose deadline fires while queued — is shed with ctx.Err().
-func (sp *SessionPool) acquire(ctx context.Context) (*Session, error) {
+// The sampled recorder (nil otherwise) gets its admission and queue
+// segments closed here.
+func (sp *SessionPool) acquire(ctx context.Context, req *obs.ActiveRequest) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		mAdmissionShed.Inc()
 		return nil, err
 	}
 	select {
 	case s := <-sp.idle:
+		req.MarkAdmitted()
+		req.MarkAcquired()
 		return s, nil
 	default:
 	}
@@ -94,8 +166,18 @@ func (sp *SessionPool) acquire(ctx context.Context) (*Session, error) {
 		return nil, ErrOverloaded
 	}
 	defer sp.waiters.Add(-1)
+	req.MarkAdmitted()
+	var t0 time.Time
+	if sp.hQueueWait != nil {
+		sp.gWait.Set(float64(sp.waiters.Load()))
+		t0 = time.Now()
+	}
 	select {
 	case s := <-sp.idle:
+		if sp.hQueueWait != nil {
+			sp.hQueueWait.Observe(float64(time.Since(t0).Nanoseconds()))
+		}
+		req.MarkAcquired()
 		return s, nil
 	case <-ctx.Done():
 		mAdmissionShed.Inc()
@@ -103,23 +185,49 @@ func (sp *SessionPool) acquire(ctx context.Context) (*Session, error) {
 	}
 }
 
+// release returns a session to the pool and refreshes the occupancy gauges.
+func (sp *SessionPool) release(s *Session) {
+	sp.idle <- s
+	if sp.gInflight != nil {
+		sp.gInflight.Set(float64(cap(sp.idle) - len(sp.idle)))
+		sp.gWait.Set(float64(sp.waiters.Load()))
+	}
+}
+
 // Run admits the request, executes it on a pooled session, and returns
 // copies of the outputs (unlike Session.Run, the results own their storage
 // — the session and its arena go back to the pool before Run returns).
+// Every Run is one tracked request: it gets an ID, a sampled subset gets a
+// full per-request trace, and its outcome lands in the SLO window.
 func (sp *SessionPool) Run(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
-	s, err := sp.acquire(ctx)
+	req := sp.requests.Start(sp.model) // nil unless this request is sampled
+	start := time.Now()
+	s, err := sp.acquire(ctx, req)
 	if err != nil {
+		req.MarkShed()
+		req.Finish(err)
+		sp.slo.Record(sp.model, time.Since(start), obs.OutcomeShed)
 		return nil, err
+	}
+	if sp.gInflight != nil {
+		sp.gInflight.Set(float64(cap(sp.idle) - len(sp.idle)))
+	}
+	if req != nil {
+		ctx = obs.ContextWithRequest(ctx, req)
 	}
 	outs, err := s.RunContext(ctx, feeds)
 	if err != nil {
-		sp.idle <- s
+		sp.release(s)
+		req.Finish(err)
+		sp.slo.Record(sp.model, time.Since(start), obs.OutcomeError)
 		return nil, err
 	}
 	res := make([]*tensor.Tensor, len(outs))
 	for i, o := range outs {
 		res[i] = o.Clone()
 	}
-	sp.idle <- s
+	sp.release(s)
+	req.Finish(nil)
+	sp.slo.Record(sp.model, time.Since(start), obs.OutcomeOK)
 	return res, nil
 }

@@ -1,0 +1,101 @@
+package runtime
+
+import (
+	"sync"
+
+	"unigpu/internal/obs"
+)
+
+// Compiled-plan registry behind the /debug/plans endpoint: every NewPlan
+// files its metadata here (bounded; oldest dropped) so a live serving
+// process can be asked what it has compiled. Plans hold no arenas —
+// sessions do — so retaining them is cheap.
+
+const maxRegisteredPlans = 64
+
+var (
+	plansMu  sync.Mutex
+	plansReg []*Plan
+)
+
+func init() {
+	obs.RegisterDebug("plans", func() any { return PlanInfos() })
+}
+
+func registerPlan(p *Plan) {
+	plansMu.Lock()
+	plansReg = append(plansReg, p)
+	if len(plansReg) > maxRegisteredPlans {
+		plansReg = plansReg[len(plansReg)-maxRegisteredPlans:]
+	}
+	plansMu.Unlock()
+}
+
+// SetLabel names the plan in telemetry (the /debug/plans dump); unigpu
+// sets it to the compiled model's name.
+func (p *Plan) SetLabel(label string) {
+	p.label.Store(&label)
+}
+
+// Label returns the telemetry label ("" until SetLabel).
+func (p *Plan) Label() string {
+	if l := p.label.Load(); l != nil {
+		return *l
+	}
+	return ""
+}
+
+// PlanInfo is the compiled-plan metadata dumped at /debug/plans.
+type PlanInfo struct {
+	Label             string         `json:"label,omitempty"`
+	Nodes             int            `json:"nodes"`
+	GPUNodes          int            `json:"gpu_nodes"`
+	CPUNodes          int            `json:"cpu_nodes"`
+	Inputs            int            `json:"inputs"`
+	Outputs           int            `json:"outputs"`
+	ArenaBytes        int            `json:"arena_bytes"`
+	PeakLiveBytes     int            `json:"peak_live_bytes"`
+	IntermediateBytes int            `json:"intermediate_bytes"`
+	Kernels           map[string]int `json:"kernels,omitempty"` // selected conv kernels by name
+}
+
+// Info summarizes the plan for telemetry.
+func (p *Plan) Info() PlanInfo {
+	info := PlanInfo{
+		Label:             p.Label(),
+		Nodes:             len(p.nodes),
+		Inputs:            len(p.inputs),
+		Outputs:           len(p.outputs),
+		ArenaBytes:        p.ArenaBytes(),
+		PeakLiveBytes:     p.peakLive,
+		IntermediateBytes: p.interBytes,
+	}
+	for i := range p.nodes {
+		pn := &p.nodes[i]
+		if pn.gpu {
+			info.GPUNodes++
+		} else {
+			info.CPUNodes++
+		}
+		if pn.conv != nil {
+			if info.Kernels == nil {
+				info.Kernels = map[string]int{}
+			}
+			info.Kernels[pn.conv.Kernel().String()]++
+		}
+	}
+	return info
+}
+
+// PlanInfos snapshots the registered plans, oldest first.
+func PlanInfos() []PlanInfo {
+	plansMu.Lock()
+	ps := make([]*Plan, len(plansReg))
+	copy(ps, plansReg)
+	plansMu.Unlock()
+	out := make([]PlanInfo, len(ps))
+	for i, p := range ps {
+		out[i] = p.Info()
+	}
+	return out
+}

@@ -204,3 +204,20 @@ func (f *FaultInjector) Injected(kind FaultKind) int64 {
 	defer f.mu.Unlock()
 	return f.byKind[kind]
 }
+
+// Counts snapshots the injected-fault totals by kind name, omitting kinds
+// that never fired — the shape serving reports embed.
+func (f *FaultInjector) Counts() map[string]int64 {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, numFaultKinds)
+	for _, k := range AllFaultKinds {
+		if f.byKind[k] > 0 {
+			out[k.String()] = f.byKind[k]
+		}
+	}
+	return out
+}

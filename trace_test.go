@@ -56,11 +56,24 @@ func TestPipelineTraceExport(t *testing.T) {
 	}
 
 	byName := map[string][]traceEvent{}
+	laneThreads := 0
 	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "M" {
+			// thread_name metadata announcing the per-lane tracks that
+			// node spans carrying the lane attribute land on.
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event %q, want thread_name", ev.Name)
+			}
+			laneThreads++
+			continue
+		}
 		if ev.Ph != "X" {
 			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
 		}
 		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	if laneThreads == 0 {
+		t.Error("no per-lane thread metadata despite lane-attributed node spans")
 	}
 
 	// The pipeline stages all show up.

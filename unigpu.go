@@ -65,6 +65,20 @@ type (
 	// NodeError is the structured failure of one graph node: the node,
 	// its device, the cause, and — for recovered panics — the stack.
 	NodeError = runtime.NodeError
+
+	// TelemetryServer is a running live-telemetry listener (Prometheus
+	// /metrics, /healthz, /debug/plans and friends); see ServeTelemetry.
+	TelemetryServer = obs.Server
+	// ProfileSnapshot is the continuous profiler's rolling top-K view of
+	// where execution time goes, by (model, node, kernel kind, device).
+	ProfileSnapshot = obs.ProfileSnapshot
+	// RequestTrace is one sampled serving request's record: wall time
+	// attributed to admission wait, queue wait, per-node execution,
+	// retries/backoff and CPU re-execution, plus the node event stream.
+	RequestTrace = obs.RequestTrace
+	// SLOStats is one model's rolling serving health: windowed p50/p99,
+	// error and shed counts, and the error-budget burn rate.
+	SLOStats = obs.SLOStats
 )
 
 // ErrOverloaded is returned by SessionPool.Run when the admission
@@ -79,6 +93,27 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector { return sim.NewFaultInjec
 // NewBreaker creates a closed per-device circuit breaker; zero options
 // select the defaults (threshold 3, probation 250ms).
 func NewBreaker(opts runtime.BreakerOptions) *Breaker { return runtime.NewBreaker(opts) }
+
+// ServeTelemetry starts the opt-in live telemetry endpoints on addr
+// (":0" picks a free port; read it back with Addr): Prometheus text at
+// /metrics, liveness at /healthz (wired to breaker and pool state),
+// compiled-plan metadata at /debug/plans, sampled request traces at
+// /debug/requests (?format=chrome for a per-lane Chrome trace), and the
+// rolling profiler at /debug/profile.
+func ServeTelemetry(addr string) (*TelemetryServer, error) { return obs.Serve(addr) }
+
+// Profile snapshots the continuous profiler all serving pools feed by
+// default: the rolling top-K table of the hottest (model, node, kernel,
+// device) workloads.
+func Profile() ProfileSnapshot { return obs.Profile() }
+
+// RequestTraces returns the recently retained sampled request traces,
+// most recent last.
+func RequestTraces() []RequestTrace { return obs.DefaultRequests.Snapshot() }
+
+// SLOReport refreshes and returns the rolling serving-health stats for
+// every model the default SLO monitor has seen.
+func SLOReport() []SLOStats { return obs.DefaultSLO.Publish() }
 
 // The three evaluation platforms of the paper (§4.1).
 var (
@@ -305,6 +340,9 @@ func (cm *CompiledModel) InputShape() []int {
 func (cm *CompiledModel) Plan() (*runtime.Plan, error) {
 	cm.planOnce.Do(func() {
 		cm.plan, cm.planErr = runtime.NewPlan(cm.model.Graph)
+		if cm.planErr == nil {
+			cm.plan.SetLabel(cm.Name + "@" + cm.Platform.Name)
+		}
 	})
 	return cm.plan, cm.planErr
 }
@@ -339,6 +377,9 @@ func (cm *CompiledModel) NewSessionWith(opts SessionOptions) (*Session, error) {
 	}
 	if opts.Faults == nil {
 		opts.Faults = cm.Platform.GPU.Faults
+	}
+	if opts.Model == "" {
+		opts.Model = cm.Name
 	}
 	return &Session{
 		sess:  plan.NewSessionWith(opts),
@@ -384,6 +425,9 @@ func (cm *CompiledModel) NewSessionPool(opts PoolOptions) (*SessionPool, error) 
 	}
 	if opts.Session.Faults == nil {
 		opts.Session.Faults = cm.Platform.GPU.Faults
+	}
+	if opts.Session.Model == "" {
+		opts.Session.Model = cm.Name
 	}
 	return &SessionPool{pool: runtime.NewSessionPool(plan, opts)}, nil
 }
