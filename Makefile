@@ -50,9 +50,11 @@ bench-baseline:
 # random fault injection (transient kernels, queue hangs, device loss,
 # memory pressure) under the race detector, alternating serial and
 # concurrent schedulers, asserting bit-identical outputs and no
-# goroutine leaks throughout.
+# goroutine leaks throughout. The batched soak pushes the same seeded
+# faults through the request-coalescing front-end (gather/batched
+# run/scatter, per-request degradation on batch faults, pool Close).
 soak:
-	UNIGPU_SOAK_RUNS=500 $(GO) test -race -run 'TestFaultSoak' -count=1 -v ./internal/runtime
+	UNIGPU_SOAK_RUNS=500 $(GO) test -race -run 'TestFaultSoak|TestBatchedFaultSoak' -count=1 -v ./internal/runtime
 
 # trace produces a sample Chrome trace + metrics dump from a quick run.
 trace:

@@ -42,6 +42,8 @@ func main() {
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after the run")
 	streams := flag.Int("streams", 0, "serving mode: N concurrent clients, each with its own session over one shared plan (0 = off)")
+	batchSz := flag.Int("batch", 0, "serving mode: coalesce concurrent client requests into batches of up to N, executed on a plan compiled for that batch size (with -streams; 0 = off)")
+	linger := flag.Duration("linger", 2*time.Millisecond, "serving mode: max time the batcher holds a request waiting for companions (with -batch)")
 	model := flag.String("model", "SqueezeNet1.0", "serving mode: model to serve")
 	size := flag.Int("size", 64, "serving mode: square input size")
 	requests := flag.Int("requests", 32, "serving mode: requests per client")
@@ -78,7 +80,7 @@ func main() {
 		if *faults {
 			cfg = &sim.FaultConfig{Seed: *faultSeed, Rate: *faultRate, HangLatency: *faultHang}
 		}
-		serve(ctx, *model, *size, *streams, *requests, *workers, *gpuStreams, cfg, *profile, *jsonPath)
+		serve(ctx, *model, *size, *streams, *requests, *workers, *gpuStreams, *batchSz, *linger, cfg, *profile, *jsonPath)
 		if *metrics {
 			fmt.Print(obs.DumpMetrics())
 		}
@@ -251,6 +253,13 @@ type servingReport struct {
 	P50Us         float64                 `json:"p50_us"`
 	P99Us         float64                 `json:"p99_us"`
 	Shed          int                     `json:"shed"`
+	Batch         int                     `json:"batch,omitempty"`
+	LingerUs      float64                 `json:"linger_us,omitempty"`
+	BatchesFormed int64                   `json:"batches_formed,omitempty"`
+	BatchesDegr   int64                   `json:"batches_degraded,omitempty"`
+	MeanBatch     float64                 `json:"mean_batch,omitempty"`
+	BatchP50      float64                 `json:"batch_p50,omitempty"`
+	BatchP99      float64                 `json:"batch_p99,omitempty"`
 	Faults        map[string]int64        `json:"faults,omitempty"`
 	Retries       int64                   `json:"retries,omitempty"`
 	CPUReexec     int64                   `json:"cpu_reexec,omitempty"`
@@ -268,7 +277,7 @@ type servingReport struct {
 // adds the degraded-mode counters plus the rolling SLO lines. Reports
 // aggregate QPS and per-request p50/p99; jsonPath writes the full
 // machine-readable servingReport.
-func serve(ctx context.Context, model string, size, streams, requests, workers, gpuStreams int, faultCfg *sim.FaultConfig, profile bool, jsonPath string) {
+func serve(ctx context.Context, model string, size, streams, requests, workers, gpuStreams, batch int, linger time.Duration, faultCfg *sim.FaultConfig, profile bool, jsonPath string) {
 	eng := unigpu.NewEngine()
 	cm, err := eng.Compile(model, unigpu.DeepLens, unigpu.CompileOptions{InputSize: size, SkipTuning: true})
 	if err != nil {
@@ -289,18 +298,41 @@ func serve(ctx context.Context, model string, size, streams, requests, workers, 
 	}
 	var pool *unigpu.SessionPool
 	var inj *sim.FaultInjector
-	if faultCfg != nil {
-		inj = sim.NewFaultInjector(*faultCfg)
-		opts.Faults = inj
+	if faultCfg != nil || batch > 1 {
+		if faultCfg != nil {
+			inj = sim.NewFaultInjector(*faultCfg)
+			opts.Faults = inj
+		}
 		poolSessions := (streams + 1) / 2 // undersized on purpose: exercises queueing
-		pool, err = cm.NewSessionPool(unigpu.PoolOptions{
+		poolOpts := unigpu.PoolOptions{
 			Sessions: poolSessions, QueueDepth: streams, Session: opts,
-		})
+		}
+		if batch > 1 {
+			poolOpts.Batch = &unigpu.BatchOptions{MaxBatch: batch, MaxLinger: linger, QueueDepth: 2 * streams}
+		}
+		pool, err = cm.NewSessionPool(poolOpts)
 		if err != nil {
 			log.Fatalf("pool: %v", err)
 		}
-		log.Printf("fault soak: rate=%.2f seed=%d hang=%v, pool %d sessions, queue depth %d",
-			faultCfg.Rate, faultCfg.Seed, faultCfg.HangLatency, poolSessions, streams)
+		defer pool.Close()
+		if batch > 1 {
+			// Pre-compile every batch size the dispatcher can form, so
+			// steady-state QPS excludes the one-time plan compiles.
+			warm := make([]int, 0, batch-1)
+			for n := 2; n <= batch; n++ {
+				warm = append(warm, n)
+			}
+			t0 := time.Now()
+			if err := pool.WarmBatches(warm...); err != nil {
+				log.Fatalf("warm batch plans: %v", err)
+			}
+			log.Printf("batching: max batch %d, linger %v, %d batch plans compiled in %v",
+				batch, linger, len(warm), time.Since(t0).Round(time.Millisecond))
+		}
+		if faultCfg != nil {
+			log.Printf("fault soak: rate=%.2f seed=%d hang=%v, pool %d sessions, queue depth %d",
+				faultCfg.Rate, faultCfg.Seed, faultCfg.HangLatency, poolSessions, streams)
+		}
 	}
 
 	sessions := make([]*unigpu.Session, streams)
@@ -382,6 +414,21 @@ func serve(ctx context.Context, model string, size, streams, requests, workers, 
 		streams, workers, gpuStreams, len(all), wall.Round(time.Millisecond))
 	fmt.Printf("  throughput %.1f req/s, latency p50 %v p99 %v\n",
 		rep.QPS, pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	if batch > 1 {
+		reg := obs.DefaultRegistry
+		h := reg.Histogram("batch.size." + model)
+		rep.Batch = batch
+		rep.LingerUs = float64(linger.Microseconds())
+		rep.BatchesFormed = reg.Counter("batch.formed." + model).Value()
+		rep.BatchesDegr = reg.Counter("batch.degraded." + model).Value()
+		if n := h.Count(); n > 0 {
+			rep.MeanBatch = h.Sum() / float64(n)
+			rep.BatchP50 = h.Quantile(0.50)
+			rep.BatchP99 = h.Quantile(0.99)
+		}
+		fmt.Printf("  batching: %d batches (mean size %.1f, p50 %.0f, p99 %.0f), %d degraded to per-request\n",
+			rep.BatchesFormed, rep.MeanBatch, rep.BatchP50, rep.BatchP99, rep.BatchesDegr)
+	}
 	if inj != nil {
 		reg := obs.DefaultRegistry
 		rep.Faults = inj.Counts()

@@ -21,9 +21,10 @@ var mobileNetBlocks = []struct {
 // depthwise-separable blocks, global pooling and the classifier. The
 // depthwise convolutions are the workloads the paper notes are not yet
 // fully optimized on Intel Graphics (§4.2).
-func buildMobileNet(size int, lite bool) *Model {
+func buildMobileNet(size, batch int, lite bool) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 	x := b.mobileNetBackbone(in)
 	x = b.g.Apply("gap", &graph.GlobalPoolOp{}, x)
 	x = b.g.Apply("flatten", &graph.FlattenOp{}, x)

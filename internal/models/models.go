@@ -30,6 +30,7 @@ type VisionProfile struct {
 type Model struct {
 	Name      string
 	InputSize int
+	Batch     int // input batch size the graph was built at (>= 1)
 	Graph     *graph.Graph
 	Convs     []ops.ConvWorkload // topological conv sequence (dense folded in as 1x1)
 	Vision    *VisionProfile     // nil for classification models
@@ -53,12 +54,20 @@ type builder struct {
 	g     *graph.Graph
 	seed  int64
 	lite  bool // skip weight randomisation (workload-only callers)
+	batch int  // input batch size (>= 1)
 	convs []ops.ConvWorkload
 	names map[string]int
 }
 
 func newBuilder(lite bool) *builder {
-	return &builder{g: graph.New(), seed: 1, lite: lite, names: map[string]int{}}
+	return &builder{g: graph.New(), seed: 1, lite: lite, batch: 1, names: map[string]int{}}
+}
+
+// input adds the model's data input at the builder's batch size. Weight
+// seeding is independent of the batch, so the same model built at any two
+// batch sizes computes the identical function per batch row.
+func (b *builder) input(size int) *graph.Node {
+	return b.g.Input("data", b.batch, 3, size, size)
 }
 
 func (b *builder) unique(name string) string {
@@ -161,27 +170,41 @@ func Detection() []string { return Names()[3:] }
 // not be shared between experiments). lite skips weight randomisation for
 // workload-only uses.
 func Build(name string, inputSize int, lite bool) *Model {
+	return BuildN(name, inputSize, 1, lite)
+}
+
+// BuildN constructs a model with a (batch, 3, size, size) input. Weight
+// seeding does not depend on the batch, so BuildN(name, s, n, lite)
+// computes exactly the same function per batch row as Build(name, s, lite)
+// — the property the batched serving front-end relies on. Every operator
+// in the zoo (including the detection decode and NMS tails) treats the
+// leading dimension as independent rows.
+func BuildN(name string, inputSize, batch int, lite bool) *Model {
+	if batch < 1 {
+		batch = 1
+	}
 	var m *Model
 	switch name {
 	case "ResNet50_v1":
-		m = buildResNet50(inputSize, lite)
+		m = buildResNet50(inputSize, batch, lite)
 	case "MobileNet1.0":
-		m = buildMobileNet(inputSize, lite)
+		m = buildMobileNet(inputSize, batch, lite)
 	case "SqueezeNet1.0":
-		m = buildSqueezeNet(inputSize, lite)
+		m = buildSqueezeNet(inputSize, batch, lite)
 	case "SSD_MobileNet1.0":
-		m = buildSSD(inputSize, lite, "MobileNet1.0")
+		m = buildSSD(inputSize, batch, lite, "MobileNet1.0")
 	case "SSD_ResNet50":
-		m = buildSSD(inputSize, lite, "ResNet50_v1")
+		m = buildSSD(inputSize, batch, lite, "ResNet50_v1")
 	case "Yolov3":
-		m = buildYoloV3(inputSize, lite)
+		m = buildYoloV3(inputSize, batch, lite)
 	default:
-		if m = buildVariant(name, inputSize, lite); m == nil {
+		if m = buildVariant(name, inputSize, batch, lite); m == nil {
 			panic("models: unknown model " + name)
 		}
 	}
 	m.Name = name
 	m.InputSize = inputSize
+	m.Batch = batch
 	return m
 }
 

@@ -8,9 +8,10 @@ import (
 // buildResNet50 constructs ResNet50_v1 (GluonCV): 7x7/2 stem, 3-4-6-3
 // bottleneck stages with 1x1 projection shortcuts, global average pooling
 // and a 1000-way classifier.
-func buildResNet50(size int, lite bool) *Model {
+func buildResNet50(size, batch int, lite bool) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 
 	x := b.conv("stem", in, 64, 7, 2, 3, 1, true, ops.ActReLU)
 	x = b.maxpool("stem_pool", x, 3, 2, 1)

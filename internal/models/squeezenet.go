@@ -18,9 +18,10 @@ func (b *builder) fire(x *graph.Node, squeeze, expand1, expand3 int) *graph.Node
 // modules with interleaved max pooling, and a fully convolutional
 // classifier head. Its many small 1x1 workloads are why untuned schedules
 // are catastrophic and tuning gains are the largest of Table 5.
-func buildSqueezeNet(size int, lite bool) *Model {
+func buildSqueezeNet(size, batch int, lite bool) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 
 	x := b.conv("stem", in, 96, 7, 2, 3, 1, false, ops.ActReLU)
 	x = b.maxpool("pool1", x, 3, 2, 0)

@@ -33,9 +33,10 @@ func ssdRatios(anchors, numSizes int) []float32 {
 // strides 16 and 32, three extra downsampling stages, per-map class and
 // location heads, pre-computed multibox priors, and the vision-specific
 // decode + NMS tail (§3.1).
-func buildSSD(size int, lite bool, backbone string) *Model {
+func buildSSD(size, batch int, lite bool, backbone string) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 
 	var f0, f1, f2 *graph.Node
 	if backbone == "ResNet50_v1" {

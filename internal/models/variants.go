@@ -31,13 +31,14 @@ var resnetConfigs = map[int]struct {
 }
 
 // buildResNet constructs any supported ResNet-v1 depth.
-func buildResNet(depth, size int, lite bool) *Model {
+func buildResNet(depth, size, batch int, lite bool) *Model {
 	cfg, ok := resnetConfigs[depth]
 	if !ok {
 		panic(fmt.Sprintf("models: unsupported ResNet depth %d", depth))
 	}
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 	x := b.conv("stem", in, 64, 7, 2, 3, 1, true, ops.ActReLU)
 	x = b.maxpool("stem_pool", x, 3, 2, 1)
 	for _, st := range cfg.stages {
@@ -75,9 +76,10 @@ func (b *builder) basicBlock(x *graph.Node, out, stride int) *graph.Node {
 
 // buildMobileNetAlpha constructs MobileNet with a width multiplier
 // (MobileNet0.5, MobileNet0.25, ...).
-func buildMobileNetAlpha(alpha float32, size int, lite bool) *Model {
+func buildMobileNetAlpha(alpha float32, size, batch int, lite bool) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 	scale := func(c int) int { return max(8, int(float32(c)*alpha)) }
 	x := b.conv("stem", in, scale(32), 3, 2, 1, 1, true, ops.ActReLU)
 	for _, blk := range mobileNetBlocks {
@@ -95,9 +97,10 @@ func buildMobileNetAlpha(alpha float32, size int, lite bool) *Model {
 
 // buildSqueezeNet11 constructs SqueezeNet 1.1: the 3x3/2 stem with earlier
 // pooling that cuts compute ~2.4x at equal accuracy.
-func buildSqueezeNet11(size int, lite bool) *Model {
+func buildSqueezeNet11(size, batch int, lite bool) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 	x := b.conv("stem", in, 64, 3, 2, 0, 1, false, ops.ActReLU)
 	x = b.maxpool("pool1", x, 3, 2, 0)
 	x = b.fire(x, 16, 64, 64)
@@ -130,20 +133,20 @@ func Families() map[string][]string {
 
 // buildVariant handles the non-representative family members; returns nil
 // for unknown names.
-func buildVariant(name string, size int, lite bool) *Model {
+func buildVariant(name string, size, batch int, lite bool) *Model {
 	switch {
 	case name == "ResNet18_v1":
-		return buildResNet(18, size, lite)
+		return buildResNet(18, size, batch, lite)
 	case name == "ResNet34_v1":
-		return buildResNet(34, size, lite)
+		return buildResNet(34, size, batch, lite)
 	case name == "ResNet101_v1":
-		return buildResNet(101, size, lite)
+		return buildResNet(101, size, batch, lite)
 	case name == "MobileNet0.5":
-		return buildMobileNetAlpha(0.5, size, lite)
+		return buildMobileNetAlpha(0.5, size, batch, lite)
 	case name == "MobileNet0.25":
-		return buildMobileNetAlpha(0.25, size, lite)
+		return buildMobileNetAlpha(0.25, size, batch, lite)
 	case name == "SqueezeNet1.1":
-		return buildSqueezeNet11(size, lite)
+		return buildSqueezeNet11(size, batch, lite)
 	case strings.HasPrefix(name, "ResNet"):
 		panic("models: unsupported ResNet variant " + name)
 	default:

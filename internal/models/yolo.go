@@ -28,9 +28,10 @@ func (b *builder) darknetRes(x *graph.Node, ch int) *graph.Node {
 // buildYoloV3 constructs YOLOv3 on Darknet-53: the [1,2,8,8,4] residual
 // backbone, three detection heads with feature-pyramid upsampling routes,
 // per-head decode, and a final NMS over the concatenated detections.
-func buildYoloV3(size int, lite bool) *Model {
+func buildYoloV3(size, batch int, lite bool) *Model {
 	b := newBuilder(lite)
-	in := b.g.Input("data", 1, 3, size, size)
+	b.batch = batch
+	in := b.input(size)
 
 	x := b.conv("stem", in, 32, 3, 1, 1, 1, true, ops.ActLeakyReLU)
 	stageBlocks := []int{1, 2, 8, 8, 4}

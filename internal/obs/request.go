@@ -85,7 +85,10 @@ type RequestTrace struct {
 	Exec      time.Duration `json:"exec_ns"`      // node execution (first attempt)
 	Retry     time.Duration `json:"retry_ns"`     // failed dispatches, retries, backoff
 	Reexec    time.Duration `json:"reexec_ns"`    // CPU re-execution of GPU nodes
+	Gather    time.Duration `json:"gather_ns,omitempty"`  // copying feeds into a batched input
+	Scatter   time.Duration `json:"scatter_ns,omitempty"` // copying a batched output row back out
 	Overhead  time.Duration `json:"overhead_ns"`  // wall minus the accounted segments
+	BatchSize int           `json:"batch,omitempty"` // coalesced batch the request rode in
 	Shed      bool          `json:"shed,omitempty"`
 	Err       string        `json:"err,omitempty"`
 	Nodes     []NodeEvent   `json:"nodes,omitempty"`
@@ -186,6 +189,39 @@ func (r *ActiveRequest) AddRetry(d time.Duration) {
 	r.mu.Unlock()
 }
 
+// AddGather accumulates time spent copying this request's feeds into the
+// batched input tensors.
+func (r *ActiveRequest) AddGather(d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.tr.Gather += d
+	r.mu.Unlock()
+}
+
+// AddScatter accumulates time spent copying this request's rows out of the
+// batched output tensors.
+func (r *ActiveRequest) AddScatter(d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.tr.Scatter += d
+	r.mu.Unlock()
+}
+
+// SetBatchSize records the size of the coalesced batch the request was
+// executed in (1 for the per-request path).
+func (r *ActiveRequest) SetBatchSize(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr.BatchSize = n
+	r.mu.Unlock()
+}
+
 // MarkShed flags the request as shed by admission control.
 func (r *ActiveRequest) MarkShed() {
 	if r == nil {
@@ -204,7 +240,7 @@ func (r *ActiveRequest) Finish(err error) {
 	}
 	r.mu.Lock()
 	r.tr.Wall = time.Since(r.tr.Start)
-	accounted := r.tr.Admission + r.tr.Queue + r.tr.Exec + r.tr.Retry + r.tr.Reexec
+	accounted := r.tr.Admission + r.tr.Queue + r.tr.Exec + r.tr.Retry + r.tr.Reexec + r.tr.Gather + r.tr.Scatter
 	if r.tr.Overhead = r.tr.Wall - accounted; r.tr.Overhead < 0 {
 		r.tr.Overhead = 0 // concurrent lanes overlap; see RequestTrace docs
 	}

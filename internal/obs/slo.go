@@ -23,9 +23,15 @@ const (
 	OutcomeOK Outcome = iota
 	// OutcomeError: the request failed in execution.
 	OutcomeError
-	// OutcomeShed: admission control shed the request (overload or
-	// expired deadline). Sheds burn error budget but record no latency.
+	// OutcomeShed: admission control shed the request because the system
+	// was overloaded (true ErrOverloaded). Sheds burn error budget but
+	// record no latency.
 	OutcomeShed
+	// OutcomeDeadline: the request's own deadline expired (or its context
+	// was cancelled) before it reached a session. Deadline burn is the
+	// caller's latency budget, not the server shedding — tracked apart
+	// from sheds so the shed rate reflects real overload.
+	OutcomeDeadline
 )
 
 // SLOOptions configures an SLOMonitor; the zero value selects the
@@ -55,10 +61,11 @@ type sloBucket struct {
 	sumNs  float64
 	minNs  float64
 	maxNs  float64
-	total  int64 // all requests, including sheds
-	errs   int64
-	shed   int64
-	bad    int64
+	total    int64 // all requests, including sheds
+	errs     int64
+	shed     int64
+	deadline int64
+	bad      int64
 }
 
 type sloModel struct {
@@ -143,6 +150,9 @@ func (m *SLOMonitor) Record(model string, lat time.Duration, oc Outcome) {
 	case OutcomeShed:
 		b.shed++
 		bad = true
+	case OutcomeDeadline:
+		b.deadline++
+		bad = true
 	default:
 		ns := float64(lat.Nanoseconds())
 		b.counts[bucketFor(ns)]++
@@ -169,6 +179,7 @@ type SLOStats struct {
 	Requests int64         `json:"requests"`
 	Errors   int64         `json:"errors"`
 	Shed     int64         `json:"shed"`
+	Deadline int64         `json:"deadline"`
 	P50      time.Duration `json:"p50_ns"`
 	P99      time.Duration `json:"p99_ns"`
 	MeanMs   float64       `json:"mean_ms"`
@@ -206,6 +217,7 @@ func (m *SLOMonitor) statsLocked(model string, sm *sloModel, minID int64) SLOSta
 		st.Requests += b.total
 		st.Errors += b.errs
 		st.Shed += b.shed
+		st.Deadline += b.deadline
 		bad += b.bad
 		for j, c := range b.counts {
 			h.counts[j] += c
@@ -286,8 +298,8 @@ func (m *SLOMonitor) Publish() []SLOStats {
 func FormatSLO(stats []SLOStats) string {
 	var b strings.Builder
 	for _, st := range stats {
-		fmt.Fprintf(&b, "slo %s: %d req (%d err, %d shed) p50 %v p99 %v bad %.2f%% burn %.2fx alarm=%v\n",
-			st.Model, st.Requests, st.Errors, st.Shed,
+		fmt.Fprintf(&b, "slo %s: %d req (%d err, %d shed, %d deadline) p50 %v p99 %v bad %.2f%% burn %.2fx alarm=%v\n",
+			st.Model, st.Requests, st.Errors, st.Shed, st.Deadline,
 			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond),
 			100*st.BadRate, st.BurnRate, st.Alarm)
 	}

@@ -43,6 +43,12 @@ type PoolOptions struct {
 	Requests         *obs.RequestTracker
 	SLO              *obs.SLOMonitor
 	DisableTelemetry bool
+
+	// Batch enables the batching front-end: concurrent Run calls are
+	// coalesced into one execution on a plan compiled for that batch size
+	// (see BatcherOptions). Nil — or a nil Batch.PlanFor — keeps the
+	// per-request path.
+	Batch *BatcherOptions
 }
 
 // SessionPool is the serving edge over one compiled Plan: a fixed set of
@@ -57,11 +63,13 @@ type PoolOptions struct {
 // source reflecting breaker and occupancy state. PoolOptions.
 // DisableTelemetry opts out of all of it.
 type SessionPool struct {
-	plan    *Plan
-	idle    chan *Session
-	breaker *Breaker
-	depth   int32
-	waiters atomic.Int32
+	plan     *Plan
+	idle     chan *Session
+	breaker  *Breaker
+	depth    int32
+	waiters  atomic.Int32
+	sessOpts SessionOptions
+	batcher  *Batcher
 
 	// Telemetry (nil/zero when disabled). Gauge and histogram handles are
 	// resolved once; Registry.Reset zeroes them in place, keeping handles
@@ -92,11 +100,12 @@ func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
 		so.Profiler = obs.DefaultProfiler
 	}
 	sp := &SessionPool{
-		plan:    p,
-		idle:    make(chan *Session, n),
-		breaker: so.Breaker,
-		depth:   int32(opts.QueueDepth),
-		model:   model,
+		plan:     p,
+		idle:     make(chan *Session, n),
+		breaker:  so.Breaker,
+		depth:    int32(opts.QueueDepth),
+		model:    model,
+		sessOpts: so,
 	}
 	if !opts.DisableTelemetry {
 		sp.requests = opts.Requests
@@ -117,7 +126,22 @@ func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
 	for i := 0; i < n; i++ {
 		sp.idle <- p.NewSessionWith(so)
 	}
+	if opts.Batch != nil && opts.Batch.PlanFor != nil {
+		sp.batcher = newBatcher(sp, *opts.Batch)
+	}
 	return sp
+}
+
+// Batcher returns the batching front-end, or nil when batching is off.
+func (sp *SessionPool) Batcher() *Batcher { return sp.batcher }
+
+// Close stops the batching front-end (if any), failing queued requests
+// with ErrPoolClosed. The per-request path keeps working; Close exists so
+// tests and servers can retire the dispatcher goroutine deterministically.
+func (sp *SessionPool) Close() {
+	if sp.batcher != nil {
+		sp.batcher.close()
+	}
 }
 
 // registerHealth wires the pool into /healthz: unhealthy while the shared
@@ -148,6 +172,11 @@ func (sp *SessionPool) Breaker() *Breaker { return sp.breaker }
 // done — or whose deadline fires while queued — is shed with ctx.Err().
 // The sampled recorder (nil otherwise) gets its admission and queue
 // segments closed here.
+// testAdmissionPause, when set (tests only), runs between the idle-session
+// fast path and the queue-depth check, widening the race window where a
+// released session could be missed.
+var testAdmissionPause func()
+
 func (sp *SessionPool) acquire(ctx context.Context, req *obs.ActiveRequest) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		mAdmissionShed.Inc()
@@ -160,12 +189,33 @@ func (sp *SessionPool) acquire(ctx context.Context, req *obs.ActiveRequest) (*Se
 		return s, nil
 	default:
 	}
+	if testAdmissionPause != nil {
+		testAdmissionPause()
+	}
 	if sp.waiters.Add(1) > sp.depth {
 		sp.waiters.Add(-1)
+		// A session may have been released between the fast-path probe and
+		// the depth check; re-probe before shedding, or a request would be
+		// wrongly shed with sessions sitting idle.
+		select {
+		case s := <-sp.idle:
+			req.MarkAdmitted()
+			req.MarkAcquired()
+			return s, nil
+		default:
+		}
 		mAdmissionShed.Inc()
 		return nil, ErrOverloaded
 	}
-	defer sp.waiters.Add(-1)
+	defer func() {
+		// Refresh the wait-queue gauge on every waiter exit — success,
+		// cancellation, or deadline — not only when another waiter enters,
+		// so it cannot stick at a stale depth.
+		sp.waiters.Add(-1)
+		if sp.gWait != nil {
+			sp.gWait.Set(float64(sp.waiters.Load()))
+		}
+	}()
 	req.MarkAdmitted()
 	var t0 time.Time
 	if sp.hQueueWait != nil {
@@ -200,13 +250,23 @@ func (sp *SessionPool) release(s *Session) {
 // Every Run is one tracked request: it gets an ID, a sampled subset gets a
 // full per-request trace, and its outcome lands in the SLO window.
 func (sp *SessionPool) Run(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if sp.batcher != nil {
+		return sp.batcher.run(ctx, feeds)
+	}
 	req := sp.requests.Start(sp.model) // nil unless this request is sampled
 	start := time.Now()
 	s, err := sp.acquire(ctx, req)
 	if err != nil {
-		req.MarkShed()
+		// Only a true overload shed counts as OutcomeShed; a request whose
+		// own context expired or was cancelled is a distinct deadline
+		// outcome, so the shed rate reflects real server overload.
+		oc := obs.OutcomeDeadline
+		if errors.Is(err, ErrOverloaded) {
+			req.MarkShed()
+			oc = obs.OutcomeShed
+		}
 		req.Finish(err)
-		sp.slo.Record(sp.model, time.Since(start), obs.OutcomeShed)
+		sp.slo.Record(sp.model, time.Since(start), oc)
 		return nil, err
 	}
 	if sp.gInflight != nil {

@@ -1,0 +1,40 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+)
+
+// TestAcquireRetriesFastPathBeforeShed (whitebox): a session released in
+// the window between the admission fast-path probe and the queue-depth
+// check must be picked up by the re-probe instead of shedding the request
+// with sessions sitting idle. The testAdmissionPause hook pins the race
+// deterministically: it releases the only session exactly inside that
+// window.
+func TestAcquireRetriesFastPathBeforeShed(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 4)
+	g.SetOutputs(g.Apply("act", &graph.ActivationOp{Act: ops.ActReLU}, in))
+	plan, err := NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSessionPool(plan, PoolOptions{Sessions: 1, QueueDepth: 0, DisableTelemetry: true})
+
+	held := <-sp.idle // every session is busy; depth 0 would shed
+	var once sync.Once
+	testAdmissionPause = func() {
+		once.Do(func() { sp.idle <- held })
+	}
+	defer func() { testAdmissionPause = nil }()
+
+	s, err := sp.acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("acquire shed %v with an idle session released mid-admission", err)
+	}
+	sp.idle <- s
+}

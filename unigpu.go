@@ -85,6 +85,16 @@ type (
 // controller sheds the request.
 var ErrOverloaded = runtime.ErrOverloaded
 
+// ErrPoolClosed is returned by SessionPool.Run for requests still queued
+// (or arriving) after Close.
+var ErrPoolClosed = runtime.ErrPoolClosed
+
+// BatchOptions configures a SessionPool's batching front-end (see
+// runtime.BatcherOptions): concurrent requests are coalesced — bounded by
+// MaxBatch and MaxLinger — into one execution on a plan compiled for that
+// batch size. PlanFor is wired automatically by NewSessionPool.
+type BatchOptions = runtime.BatcherOptions
+
 // NewFaultInjector creates a deterministic fault injector drawing random
 // faults per cfg; attach it to a Device's Faults field (copy the shared
 // platform first) or pass it in SessionOptions.
@@ -242,6 +252,21 @@ type CompiledModel struct {
 	planOnce sync.Once
 	plan     *runtime.Plan
 	planErr  error
+
+	// Batched-plan compilation state: the compile-time knobs that must be
+	// replayed when rebuilding the model at batch N, and the per-batch-size
+	// plan cache (singleflight via each slot's sync.Once).
+	db            *TuningDB
+	allowWinograd bool
+	placement     graph.PlacementOptions
+	batchMu       sync.Mutex
+	batchPlans    map[int]*batchPlanSlot
+}
+
+type batchPlanSlot struct {
+	once sync.Once
+	plan *runtime.Plan
+	err  error
 }
 
 // Compile builds, graph-optimizes, places, tunes and prices a model. The
@@ -295,6 +320,9 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 	if opts.FallbackNMS {
 		placement.FallbackKinds = map[string]bool{"box_nms": true, "multibox_detection": true}
 	}
+	cm.db = e.est.DB
+	cm.allowWinograd = opts.AllowWinograd
+	cm.placement = placement
 	cm.CopiesInserted = graph.PlaceDevices(m.Graph, placement)
 	cm.NodesOnCPU = m.Graph.Summary().OnCPU
 
@@ -345,6 +373,44 @@ func (cm *CompiledModel) Plan() (*runtime.Plan, error) {
 		}
 	})
 	return cm.plan, cm.planErr
+}
+
+// PlanForBatch returns a plan compiled for a (n, 3, s, s) input, rebuilding
+// the model at batch n and replaying the same kernel-selection and
+// placement decisions as the original compile (same tuning DB, so a warm
+// database makes the rebuild fast). Plans are cached per batch size with
+// singleflight compilation; n <= 1 returns the canonical per-request plan.
+// Weight seeding is batch-independent, so the batched plan computes exactly
+// the same function per batch row as the per-request plan.
+func (cm *CompiledModel) PlanForBatch(n int) (*runtime.Plan, error) {
+	if n <= 1 {
+		return cm.Plan()
+	}
+	cm.batchMu.Lock()
+	if cm.batchPlans == nil {
+		cm.batchPlans = map[int]*batchPlanSlot{}
+	}
+	sl, ok := cm.batchPlans[n]
+	if !ok {
+		sl = &batchPlanSlot{}
+		cm.batchPlans[n] = sl
+	}
+	cm.batchMu.Unlock()
+	sl.once.Do(func() {
+		sp := obs.Start("compile.batch_plan", obs.KV("model", cm.Name), obs.KVInt("batch", n))
+		defer sp.End()
+		m := models.BuildN(cm.Name, cm.model.InputSize, n, false)
+		graph.Optimize(m.Graph)
+		graph.SelectConvKernels(m.Graph, graph.KernelSelection{
+			Device: cm.Platform.GPU, DB: cm.db, AllowWinograd: cm.allowWinograd,
+		})
+		graph.PlaceDevices(m.Graph, cm.placement)
+		sl.plan, sl.err = runtime.NewPlan(m.Graph)
+		if sl.err == nil {
+			sl.plan.SetLabel(fmt.Sprintf("%s@%s#b%d", cm.Name, cm.Platform.Name, n))
+		}
+	})
+	return sl.plan, sl.err
 }
 
 // SessionOptions configures one inference session (see runtime.SessionOptions).
@@ -429,8 +495,27 @@ func (cm *CompiledModel) NewSessionPool(opts PoolOptions) (*SessionPool, error) 
 	if opts.Session.Model == "" {
 		opts.Session.Model = cm.Name
 	}
+	if opts.Batch != nil && opts.Batch.PlanFor == nil {
+		b := *opts.Batch // don't mutate the caller's options
+		b.PlanFor = cm.PlanForBatch
+		opts.Batch = &b
+	}
 	return &SessionPool{pool: runtime.NewSessionPool(plan, opts)}, nil
 }
+
+// WarmBatches pre-compiles the batched plans for the given batch sizes,
+// blocking until each is ready; a no-op when batching is off. Benchmarks
+// call it so steady-state numbers exclude the one-time compiles.
+func (p *SessionPool) WarmBatches(sizes ...int) error {
+	if b := p.pool.Batcher(); b != nil {
+		return b.Warm(sizes...)
+	}
+	return nil
+}
+
+// Close stops the pool's batching dispatcher (if any); queued requests
+// fail with ErrPoolClosed. The per-request path keeps working.
+func (p *SessionPool) Close() { p.pool.Close() }
 
 // Run admits one inference request, executes it on a pooled session, and
 // returns a copy of the output (safe to keep; the session returns to the
