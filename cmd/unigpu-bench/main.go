@@ -35,7 +35,7 @@ func main() {
 	// node dispatches; tables stop between models).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,kernels,all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,kernels,fusion,all")
 	jsonPath := flag.String("json", "", "also write Tables 1-3 results as machine-readable JSON to this file")
 	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule searches)")
 	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
@@ -141,6 +141,9 @@ func main() {
 	case "kernels":
 		kernelsTable()
 		return
+	case "fusion":
+		fusionTable()
+		return
 	}
 	switch *table {
 	case "1", "2", "3":
@@ -223,6 +226,69 @@ func kernelsTable() {
 	}
 }
 
+// fusionTable compares each zoo model before and after the generalized
+// fusion passes: the "unfused" column runs only the pre-fusion pipeline
+// (batch-norm folding, single-activation fusion, constant pre-computation),
+// the "fused" column the full Optimize pipeline with residual-epilogue and
+// elementwise-chain fusion. Reported per model: schedule node count, arena
+// bytes, and best-of-3 wall clock. This is the source of the EXPERIMENTS.md
+// "Graph-level operator fusion" table.
+func fusionTable() {
+	sizes := []struct {
+		name string
+		size int
+	}{
+		{"ResNet50_v1", 96}, {"MobileNet1.0", 96}, {"SqueezeNet1.0", 96},
+		{"SSD_MobileNet1.0", 128}, {"SSD_ResNet50", 128}, {"Yolov3", 96},
+	}
+	build := func(name string, size int, fused bool) *modelPlanInput {
+		m := models.Build(name, size, false)
+		if fused {
+			graph.Optimize(m.Graph)
+		} else {
+			graph.FoldBatchNorm(m.Graph)
+			graph.FuseActivations(m.Graph)
+			graph.PrecomputeConstants(m.Graph)
+			m.Graph.EliminateDead()
+		}
+		feed := tensor.New(1, 3, size, size)
+		feed.FillRandom(7)
+		return &modelPlanInput{graph: m.Graph, feeds: map[string]*tensor.Tensor{"data": feed}}
+	}
+	measure := func(in *modelPlanInput) (nodes, arena, inter int, ms float64) {
+		plan, err := runtime.NewPlan(in.graph)
+		if err != nil {
+			log.Fatalf("plan: %v", err)
+		}
+		s := plan.NewSession()
+		if _, err := s.Run(in.feeds); err != nil { // warm-up
+			log.Fatalf("run: %v", err)
+		}
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if _, err := s.Run(in.feeds); err != nil {
+				log.Fatalf("run: %v", err)
+			}
+			if v := float64(time.Since(t0).Microseconds()) / 1e3; rep == 0 || v < best {
+				best = v
+			}
+		}
+		return plan.NumNodes(), plan.ArenaBytes(), plan.IntermediateBytes(), best
+	}
+	fmt.Println("Graph-level operator fusion: pre-fusion pipeline vs full Optimize")
+	fmt.Printf("%-18s %6s %8s %8s %6s %10s %10s %10s %10s %9s %9s %8s\n",
+		"model", "size", "nodes", "fused", "drop",
+		"arena KiB", "fused KiB", "inter KiB", "fused KiB", "wall ms", "fused ms", "speedup")
+	for _, mc := range sizes {
+		n0, a0, i0, t0 := measure(build(mc.name, mc.size, false))
+		n1, a1, i1, t1 := measure(build(mc.name, mc.size, true))
+		fmt.Printf("%-18s %6d %8d %8d %5.1f%% %10d %10d %10d %10d %9.2f %9.2f %7.2fx\n",
+			mc.name, mc.size, n0, n1, 100*float64(n0-n1)/float64(n0),
+			a0/1024, a1/1024, i0/1024, i1/1024, t0, t1, t0/t1)
+	}
+}
+
 // modelPlanInput pairs an optimized model graph with its input feeds.
 type modelPlanInput struct {
 	graph *graph.Graph
@@ -247,6 +313,8 @@ type servingReport struct {
 	Streams       int                     `json:"streams"`
 	Workers       int                     `json:"workers"`
 	GPUStreams    int                     `json:"gpu_streams"`
+	PlanNodes     int                     `json:"plan_nodes"`
+	ArenaBytes    int                     `json:"arena_bytes"`
 	Completed     int                     `json:"requests_completed"`
 	WallMs        float64                 `json:"wall_ms"`
 	QPS           float64                 `json:"qps"`
@@ -404,6 +472,7 @@ func serve(ctx context.Context, model string, size, streams, requests, workers, 
 	pct := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 	rep := servingReport{
 		Model: model, Size: size, Streams: streams, Workers: workers, GPUStreams: gpuStreams,
+		PlanNodes: plan.NumNodes(), ArenaBytes: plan.ArenaBytes(),
 		Completed: len(all), WallMs: float64(wall.Microseconds()) / 1e3,
 		QPS:   float64(len(all)) / wall.Seconds(),
 		P50Us: float64(pct(0.50).Nanoseconds()) / 1e3,

@@ -1,0 +1,369 @@
+package graph_test
+
+import (
+	"testing"
+
+	"unigpu/internal/graph"
+	"unigpu/internal/ops"
+	"unigpu/internal/runtime"
+	"unigpu/internal/tensor"
+)
+
+// mustEqualBits fails unless got and want match bit for bit — the fusion
+// passes promise order-preserving math, so "close" is not good enough.
+func mustEqualBits(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.Shape().Equal(want.Shape()) {
+		t.Fatalf("%s: shape %v, want %v", name, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Fatalf("%s: bit mismatch at %d: got %g want %g", name, i, gd[i], wd[i])
+		}
+	}
+}
+
+// kindCounts tallies operator kinds for structural assertions.
+func kindCounts(g *graph.Graph) map[string]int {
+	m := map[string]int{}
+	for _, n := range g.OpNodes() {
+		m[n.Op.Kind()]++
+	}
+	return m
+}
+
+func newConv(g *graph.Graph, name string, in *graph.Node, cin, cout int, seed int64) *graph.Node {
+	s := in.OutShape
+	wl := ops.ConvWorkload{N: s[0], CIn: cin, H: s[2], W: s[3], COut: cout,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := tensor.New(cout, cin, 3, 3)
+	w.FillRandom(seed)
+	return g.Apply(name, &graph.ConvOp{W: wl}, in, g.Constant(name+"_w", w))
+}
+
+// Regression for the stale-consumers bug: with conv -> relu -> leaky, the
+// old FuseActivations computed the consumers map once, fused the relu, and
+// then — reading stale edges — fused the leaky as well, overwriting the
+// conv's epilogue with leaky and silently dropping the relu. Only the
+// first activation may fuse; the second must survive as a node.
+func TestFuseActivationsStaleConsumers(t *testing.T) {
+	build := func() (*graph.Graph, *tensor.Tensor) {
+		g := graph.New()
+		in := g.Input("data", 1, 3, 8, 8)
+		conv := newConv(g, "conv0", in, 3, 4, 1)
+		relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, conv)
+		leaky := g.Apply("leaky0", &graph.ActivationOp{Act: ops.ActLeakyReLU, Alpha: ops.LeakyAlpha}, relu)
+		g.SetOutputs(leaky)
+		feed := tensor.New(1, 3, 8, 8)
+		feed.FillRandom(7)
+		return g, feed
+	}
+	g, feed := build()
+	want := runGraph(t, g, feed)
+
+	g2, _ := build()
+	if fused := graph.FuseActivations(g2); fused != 1 {
+		t.Fatalf("fused %d activations, want 1 (the relu only)", fused)
+	}
+	k := kindCounts(g2)
+	if k["leaky_relu"] != 1 || k["relu"] != 0 {
+		t.Fatalf("after fuse: kinds %v, want the leaky_relu kept and the relu gone", k)
+	}
+	mustEqualBits(t, "stale-consumers", runGraph(t, g2, feed), want)
+}
+
+// A leaky activation with a slope other than the kernels' compiled-in
+// ops.LeakyAlpha must not fuse into a conv epilogue.
+func TestFuseActivationsSkipsNonDefaultAlpha(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 3, 8, 8)
+	conv := newConv(g, "conv0", in, 3, 4, 1)
+	leaky := g.Apply("leaky0", &graph.ActivationOp{Act: ops.ActLeakyReLU, Alpha: 0.25}, conv)
+	g.SetOutputs(leaky)
+	if fused := graph.FuseActivations(g); fused != 0 {
+		t.Fatalf("fused %d, want 0: slope 0.25 is not expressible in the epilogue", fused)
+	}
+}
+
+// A producer whose raw value is a graph output must keep its node: fusing
+// the downstream activation would change what the caller observes.
+func TestFuseActivationsSkipsOutputProducer(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 3, 8, 8)
+	conv := newConv(g, "conv0", in, 3, 4, 1)
+	relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, conv)
+	g.SetOutputs(conv, relu)
+	if fused := graph.FuseActivations(g); fused != 0 {
+		t.Fatalf("fused %d, want 0: conv's raw value is observed", fused)
+	}
+}
+
+// Activations also fuse into dense epilogues, bit-identically.
+func TestFuseActivationsDense(t *testing.T) {
+	build := func() (*graph.Graph, *tensor.Tensor) {
+		g := graph.New()
+		in := g.Input("data", 2, 16)
+		w := tensor.New(8, 16)
+		w.FillRandom(3)
+		b := tensor.New(8)
+		b.FillRandom(4)
+		d := g.Apply("fc", &graph.DenseOp{}, in, g.Constant("fc_w", w), g.Constant("fc_b", b))
+		relu := g.Apply("relu", &graph.ActivationOp{Act: ops.ActReLU}, d)
+		g.SetOutputs(relu)
+		feed := tensor.New(2, 16)
+		feed.FillRandom(9)
+		return g, feed
+	}
+	g, feed := build()
+	want := runGraph(t, g, feed)
+
+	g2, _ := build()
+	if fused := graph.FuseActivations(g2); fused != 1 {
+		t.Fatalf("fused %d, want 1", fused)
+	}
+	k := kindCounts(g2)
+	if k["relu"] != 0 || k["dense"] != 1 {
+		t.Fatalf("after fuse: kinds %v", k)
+	}
+	mustEqualBits(t, "dense-act", runGraph(t, g2, feed), want)
+}
+
+// buildResidualBlock is the ResNet shape: conv -> add(shortcut) -> relu.
+func buildResidualBlock() (*graph.Graph, *tensor.Tensor) {
+	g := graph.New()
+	in := g.Input("data", 1, 4, 8, 8)
+	conv := newConv(g, "conv0", in, 4, 4, 2)
+	add := g.Apply("add0", &graph.AddOp{}, conv, in)
+	relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, add)
+	g.SetOutputs(relu)
+	feed := tensor.New(1, 4, 8, 8)
+	feed.FillRandom(11)
+	return g, feed
+}
+
+// The ResNet pattern conv -> add -> relu collapses to a single conv with a
+// pre-activation residual epilogue, bit-identically.
+func TestFuseConvResidualPreAct(t *testing.T) {
+	g, feed := buildResidualBlock()
+	want := runGraph(t, g, feed)
+
+	g2, _ := buildResidualBlock()
+	if n := graph.FuseConvResidual(g2); n != 1 {
+		t.Fatalf("fused %d residual adds, want 1", n)
+	}
+	if n := graph.FuseActivations(g2); n != 1 {
+		t.Fatalf("fused %d trailing activations, want 1", n)
+	}
+	k := kindCounts(g2)
+	if k["add"] != 0 || k["relu"] != 0 || k["conv2d"] != 1 {
+		t.Fatalf("after fuse: kinds %v, want a lone conv2d", k)
+	}
+	convOp := g2.OpNodes()[0].Op.(*graph.ConvOp)
+	if !convOp.Residual || convOp.ResidualPostAct {
+		t.Fatalf("want pre-act residual conv, got %+v", convOp)
+	}
+	mustEqualBits(t, "residual-preact", runGraph(t, g2, feed), want)
+}
+
+// The Darknet pattern conv(+leaky) -> add keeps the activation before the
+// residual add: the fuse must mark the epilogue post-act.
+func TestFuseConvResidualPostAct(t *testing.T) {
+	build := func() (*graph.Graph, *tensor.Tensor) {
+		g := graph.New()
+		in := g.Input("data", 1, 4, 8, 8)
+		conv := newConv(g, "conv0", in, 4, 4, 5)
+		leaky := g.Apply("leaky0", &graph.ActivationOp{Act: ops.ActLeakyReLU, Alpha: ops.LeakyAlpha}, conv)
+		add := g.Apply("add0", &graph.AddOp{}, leaky, in)
+		g.SetOutputs(add)
+		feed := tensor.New(1, 4, 8, 8)
+		feed.FillRandom(12)
+		return g, feed
+	}
+	g, feed := build()
+	want := runGraph(t, g, feed)
+
+	g2, _ := build()
+	graph.FuseActivations(g2)
+	if n := graph.FuseConvResidual(g2); n != 1 {
+		t.Fatalf("fused %d residual adds, want 1", n)
+	}
+	convOp := g2.OpNodes()[0].Op.(*graph.ConvOp)
+	if !convOp.Residual || !convOp.ResidualPostAct {
+		t.Fatalf("want post-act residual conv, got %+v", convOp)
+	}
+	mustEqualBits(t, "residual-postact", runGraph(t, g2, feed), want)
+}
+
+// A conv whose output feeds anything beyond the add must not absorb the
+// residual: its raw value is still needed elsewhere.
+func TestFuseConvResidualSkipsMultiConsumer(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 4, 8, 8)
+	conv := newConv(g, "conv0", in, 4, 4, 2)
+	add := g.Apply("add0", &graph.AddOp{}, conv, in)
+	sig := g.Apply("sig0", &graph.SigmoidOp{}, conv)
+	g.SetOutputs(add, sig)
+	if n := graph.FuseConvResidual(g); n != 0 {
+		t.Fatalf("fused %d, want 0: conv has two consumers", n)
+	}
+}
+
+// A conv that is itself a graph output keeps its raw value.
+func TestFuseConvResidualSkipsOutputConv(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 4, 8, 8)
+	conv := newConv(g, "conv0", in, 4, 4, 2)
+	add := g.Apply("add0", &graph.AddOp{}, conv, in)
+	g.SetOutputs(conv, add)
+	if n := graph.FuseConvResidual(g); n != 0 {
+		t.Fatalf("fused %d, want 0: conv's raw value is an output", n)
+	}
+}
+
+// Residual fusion does not require constant weights: with a fed weight the
+// plan cannot prepack, and the conv runs through the generic ExecuteInto
+// path — which must honour the residual operand identically.
+func TestFuseConvResidualFedWeight(t *testing.T) {
+	build := func() (*graph.Graph, map[string]*tensor.Tensor) {
+		g := graph.New()
+		in := g.Input("data", 1, 4, 8, 8)
+		s := in.OutShape
+		wl := ops.ConvWorkload{N: s[0], CIn: 4, H: s[2], W: s[3], COut: 4,
+			KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		w := g.Input("weight", 4, 4, 3, 3)
+		conv := g.Apply("conv0", &graph.ConvOp{W: wl}, in, w)
+		add := g.Apply("add0", &graph.AddOp{}, conv, in)
+		relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, add)
+		g.SetOutputs(relu)
+		feed := tensor.New(1, 4, 8, 8)
+		feed.FillRandom(21)
+		wt := tensor.New(4, 4, 3, 3)
+		wt.FillRandom(22)
+		return g, map[string]*tensor.Tensor{"data": feed, "weight": wt}
+	}
+	g, feeds := build()
+	want := runGraphFeeds(t, g, feeds)
+
+	g2, _ := build()
+	if n := graph.FuseConvResidual(g2); n != 1 {
+		t.Fatalf("fused %d residual adds, want 1", n)
+	}
+	graph.FuseActivations(g2)
+	mustEqualBits(t, "fed-weight-residual", runGraphFeeds(t, g2, feeds), want)
+}
+
+// buildElementwiseChain is relu -> sigmoid -> add(extra) off one source.
+func buildElementwiseChain() (*graph.Graph, *tensor.Tensor) {
+	g := graph.New()
+	in := g.Input("data", 1, 2, 4, 4)
+	relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	sig := g.Apply("sig0", &graph.SigmoidOp{}, relu)
+	add := g.Apply("add0", &graph.AddOp{}, sig, in)
+	g.SetOutputs(add)
+	feed := tensor.New(1, 2, 4, 4)
+	feed.FillRandom(31)
+	return g, feed
+}
+
+// An elementwise chain collapses into one FusedElementwiseOp whose staged
+// math is bit-identical to the separate kernels.
+func TestFuseElementwiseChain(t *testing.T) {
+	g, feed := buildElementwiseChain()
+	want := runGraph(t, g, feed)
+
+	g2, _ := buildElementwiseChain()
+	if n := graph.FuseElementwise(g2); n != 2 {
+		t.Fatalf("eliminated %d nodes, want 2", n)
+	}
+	k := kindCounts(g2)
+	if k["fused_elementwise"] != 1 || len(g2.OpNodes()) != 1 {
+		t.Fatalf("after fuse: kinds %v, want a lone fused_elementwise", k)
+	}
+	fop := g2.OpNodes()[0].Op.(*graph.FusedElementwiseOp)
+	if len(fop.Stages) != 3 {
+		t.Fatalf("stages %v, want relu/sigmoid/add", fop.Stages)
+	}
+	// A non-default leaky slope is expressible here (per-stage alpha).
+	mustEqualBits(t, "elementwise-chain", runGraph(t, g2, feed), want)
+}
+
+// A chain interior read by a second consumer must stay materialized.
+func TestFuseElementwiseSkipsMultiConsumerInterior(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 2, 4, 4)
+	relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	sig := g.Apply("sig0", &graph.SigmoidOp{}, relu)
+	tap := g.Apply("add1", &graph.AddOp{}, relu, in) // second reader of relu
+	g.SetOutputs(sig, tap)
+	if n := graph.FuseElementwise(g); n != 0 {
+		t.Fatalf("eliminated %d, want 0: relu feeds two consumers", n)
+	}
+}
+
+// Device crossings break chains: a device_copy between two elementwise
+// nodes must not be fused across.
+func TestFuseElementwiseStopsAtDeviceCopy(t *testing.T) {
+	g := graph.New()
+	in := g.Input("data", 1, 2, 4, 4)
+	relu := g.Apply("relu0", &graph.ActivationOp{Act: ops.ActReLU}, in)
+	sig := g.Apply("sig0", &graph.SigmoidOp{}, relu)
+	g.SetOutputs(sig)
+	copies := graph.PlaceDevices(g, graph.PlacementOptions{FallbackKinds: map[string]bool{"sigmoid": true}})
+	if copies == 0 {
+		t.Fatal("placement inserted no device copies; test premise broken")
+	}
+	if n := graph.FuseElementwise(g); n != 0 {
+		t.Fatalf("eliminated %d, want 0: the chain crosses devices", n)
+	}
+}
+
+// A non-default leaky slope cannot ride a conv epilogue but fuses fine in
+// an elementwise chain, which carries per-stage alphas.
+func TestFuseElementwiseCarriesLeakyAlpha(t *testing.T) {
+	build := func() (*graph.Graph, *tensor.Tensor) {
+		g := graph.New()
+		in := g.Input("data", 1, 2, 4, 4)
+		leaky := g.Apply("leaky0", &graph.ActivationOp{Act: ops.ActLeakyReLU, Alpha: 0.3}, in)
+		sig := g.Apply("sig0", &graph.SigmoidOp{}, leaky)
+		g.SetOutputs(sig)
+		feed := tensor.New(1, 2, 4, 4)
+		feed.FillRandom(41)
+		return g, feed
+	}
+	g, feed := build()
+	want := runGraph(t, g, feed)
+
+	g2, _ := build()
+	if n := graph.FuseElementwise(g2); n != 1 {
+		t.Fatalf("eliminated %d, want 1", n)
+	}
+	fop := g2.OpNodes()[0].Op.(*graph.FusedElementwiseOp)
+	if fop.Stages[0].Kind != ops.EwLeakyReLU || fop.Stages[0].Alpha != 0.3 {
+		t.Fatalf("stage 0 = %+v, want leaky alpha 0.3", fop.Stages[0])
+	}
+	mustEqualBits(t, "leaky-alpha-chain", runGraph(t, g2, feed), want)
+}
+
+// The full Optimize pipeline on a residual block leaves a single conv and
+// keeps results bit-identical.
+func TestOptimizeFusesResidualBlock(t *testing.T) {
+	g, feed := buildResidualBlock()
+	want := runGraph(t, g, feed)
+
+	g2, _ := buildResidualBlock()
+	graph.Optimize(g2)
+	if n := len(g2.OpNodes()); n != 1 {
+		t.Fatalf("optimize left %d op nodes, want 1: %v", n, kindCounts(g2))
+	}
+	mustEqualBits(t, "optimize-residual", runGraph(t, g2, feed), want)
+}
+
+func runGraphFeeds(t *testing.T, g *graph.Graph, feeds map[string]*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	res, err := runtime.Execute(g, feeds)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return res.Outputs[0]
+}

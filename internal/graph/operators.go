@@ -11,7 +11,7 @@ import (
 // the vision post-processing operators (dynamic-size sorting/suppression
 // pipelines) keep the allocating Execute path.
 
-// ConvOp is a 2-D convolution; inputs: data, weight[, bias].
+// ConvOp is a 2-D convolution; inputs: data, weight[, bias][, residual].
 //
 // Kernel is the algorithm the kernel-selection pass (SelectConvKernels)
 // chose for this workload; KernelAuto falls back to ops.DefaultKernel. The
@@ -19,12 +19,49 @@ import (
 // Execute/ExecuteInto paths prepare on the fly so the reference executor
 // and the plan run the identical algorithm (and hence produce identical
 // bits).
+//
+// Residual marks a fused residual add (FuseConvResidual): the node's last
+// input is an output-shaped tensor summed into every element by the kernel
+// epilogue — before the fused activation (ResNet conv→add→relu), or after
+// it when ResidualPostAct is set (Darknet conv+act→add).
 type ConvOp struct {
-	W      ops.ConvWorkload
-	Kernel ops.ConvKernel
+	W               ops.ConvWorkload
+	Kernel          ops.ConvKernel
+	Residual        bool
+	ResidualPostAct bool
 }
 
 func (o *ConvOp) Kind() string { return "conv2d" }
+
+// SplitArgs resolves the optional bias and residual operands from the
+// node's input values (data, weight[, bias][, residual]); either may be
+// nil. ArgIndices is the index form the plan compiler precomputes.
+func (o *ConvOp) SplitArgs(ins []*tensor.Tensor) (bias, residual *tensor.Tensor) {
+	bi, ri := o.ArgIndices(len(ins))
+	if bi >= 0 {
+		bias = ins[bi]
+	}
+	if ri >= 0 {
+		residual = ins[ri]
+	}
+	return bias, residual
+}
+
+// ArgIndices returns the input positions of the optional bias and residual
+// operands for a node with n inputs (-1 when absent): the residual, when
+// fused, is always the last input; a bias sits at index 2.
+func (o *ConvOp) ArgIndices(n int) (bias, residual int) {
+	bias, residual = -1, -1
+	last := n - 1
+	if o.Residual && last >= 2 {
+		residual = last
+		last--
+	}
+	if last >= 2 {
+		bias = 2
+	}
+	return bias, residual
+}
 
 // EffectiveKernel resolves KernelAuto and unsupported choices to the
 // concrete kernel that will actually run.
@@ -48,11 +85,8 @@ func (o *ConvOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 func (o *ConvOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
-	var bias *tensor.Tensor
-	if len(ins) > 2 {
-		bias = ins[2]
-	}
-	ops.PrepareConv(o.W, o.Kernel, ins[1]).RunInto(out, ins[0], bias, nil)
+	bias, residual := o.SplitArgs(ins)
+	ops.PrepareConv(o.W, o.Kernel, ins[1]).RunIntoEpilogue(out, ins[0], bias, residual, nil, o.ResidualPostAct)
 }
 func (o *ConvOp) GPUFriendly() bool { return true }
 
@@ -145,26 +179,28 @@ func (o *GlobalPoolOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 }
 func (o *GlobalPoolOp) GPUFriendly() bool { return true }
 
-// DenseOp is a fully connected layer; inputs: data, weight[, bias].
-type DenseOp struct{}
+// DenseOp is a fully connected layer; inputs: data, weight[, bias]. Act is
+// an activation fused into the epilogue (FuseActivations), ActNone when the
+// layer's output is used raw.
+type DenseOp struct {
+	Act ops.Activation
+}
 
 func (o *DenseOp) Kind() string { return "dense" }
 func (o *DenseOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return tensor.Shape{ins[0][0], ins[1][0]}
 }
 func (o *DenseOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
-	var bias *tensor.Tensor
-	if len(ins) > 2 {
-		bias = ins[2]
-	}
-	return ops.Dense(ins[0], ins[1], bias)
+	out := tensor.New(ins[0].Shape()[0], ins[1].Shape()[0])
+	o.ExecuteInto(out, ins)
+	return out
 }
 func (o *DenseOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 	var bias *tensor.Tensor
 	if len(ins) > 2 {
 		bias = ins[2]
 	}
-	ops.DenseInto(out, ins[0], ins[1], bias)
+	ops.DenseActInto(out, ins[0], ins[1], bias, o.Act)
 }
 func (o *DenseOp) GPUFriendly() bool { return true }
 
@@ -204,6 +240,27 @@ func (o *AddOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 	ops.AddInto(out, ins[0], ins[1])
 }
 func (o *AddOp) GPUFriendly() bool { return true }
+
+// FusedElementwiseOp is a chain of elementwise operators collapsed into a
+// single memory pass (FuseElementwise). Inputs: the chain's source tensor,
+// then one extra operand per EwAdd stage in order. Stage order is the
+// original chain order, so results are bit-identical to running the chain
+// as separate kernels.
+type FusedElementwiseOp struct {
+	Stages []ops.ElementwiseStage
+}
+
+func (o *FusedElementwiseOp) Kind() string                               { return "fused_elementwise" }
+func (o *FusedElementwiseOp) InferShape(ins []tensor.Shape) tensor.Shape { return ins[0].Clone() }
+func (o *FusedElementwiseOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(ins[0].Shape()...)
+	o.ExecuteInto(out, ins)
+	return out
+}
+func (o *FusedElementwiseOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	ops.FusedElementwiseInto(out, ins[0], ins[1:], o.Stages)
+}
+func (o *FusedElementwiseOp) GPUFriendly() bool { return true }
 
 // ConcatOp joins along axis 1 for rank-4 (channels) or rank-3 (detection
 // rows) tensors.

@@ -66,32 +66,247 @@ func FoldBatchNorm(g *Graph) int {
 	return folded
 }
 
-// FuseActivations merges relu/leaky_relu nodes whose only producer is a
-// conv2d into the convolution's epilogue (operator fusion, §3.2.3).
+// FuseActivations merges relu/leaky_relu nodes into the epilogue of the
+// conv2d or dense producer that feeds them (operator fusion, §3.2.3). A
+// fuse is legal only when the producer's value is not observable anywhere
+// else: it must have the activation as its sole consumer, must not itself
+// be a graph output, and must sit on the same device. Leaky activations
+// fuse only at the kernels' compiled-in slope (ops.LeakyAlpha); other
+// slopes are left for FuseElementwise. The consumers map is recomputed
+// after every rewrite — replaceUses changes edges, and a stale map can
+// approve a second fuse onto a producer that meanwhile gained consumers.
 func FuseActivations(g *Graph) int {
-	consumers := g.Consumers()
 	fused := 0
-	for _, n := range g.OpNodes() {
-		act, ok := n.Op.(*ActivationOp)
-		if !ok {
-			continue
+	for {
+		consumers := g.Consumers()
+		outputs := outputSet(g)
+		progress := false
+		for _, n := range g.OpNodes() {
+			act, ok := n.Op.(*ActivationOp)
+			if !ok {
+				continue
+			}
+			if act.Act == ops.ActLeakyReLU && act.Alpha != ops.LeakyAlpha {
+				continue // kernel epilogues hardcode the slope
+			}
+			prod := n.Inputs[0]
+			if len(consumers[prod]) != 1 || outputs[prod] || prod.Device != n.Device {
+				continue // producer value observable elsewhere; cannot fuse
+			}
+			switch op := prod.Op.(type) {
+			case *ConvOp:
+				if op.W.FusedActivation != ops.ActNone {
+					continue // epilogue slot already taken
+				}
+				if op.Residual && op.ResidualPostAct {
+					continue // act would land before the post-act residual add
+				}
+				newOp := *op
+				newOp.W.FusedActivation = act.Act
+				prod.Op = &newOp
+				obs.Count("fusion.nodes_fused.activation", 1)
+			case *DenseOp:
+				if op.Act != ops.ActNone {
+					continue
+				}
+				newOp := *op
+				newOp.Act = act.Act
+				prod.Op = &newOp
+				obs.Count("fusion.nodes_fused.dense", 1)
+			default:
+				continue
+			}
+			g.replaceUses(n, prod)
+			fused++
+			progress = true
+			break // edges changed; rebuild consumers before the next fuse
 		}
-		conv := n.Inputs[0]
-		convOp, isConv := opAs[*ConvOp](conv)
-		if !isConv || len(consumers[conv]) != 1 {
-			continue // conv feeds others too; cannot fuse
+		if !progress {
+			break
 		}
-		newOp := *convOp
-		newOp.W.FusedActivation = act.Act
-		conv.Op = &newOp
-		g.replaceUses(n, conv)
-		fused++
 	}
 	if fused > 0 {
 		g.EliminateDead()
 		resort(g)
 	}
 	return fused
+}
+
+// FuseConvResidual folds an elementwise add of a convolution's output with
+// a same-shaped tensor into the convolution's epilogue (the ResNet
+// conv→add[→relu] and Darknet conv+act→add skip connections), so the
+// residual row is read once during the conv's output write instead of in a
+// separate full-tensor pass. The add runs before the conv's fused
+// activation when none is attached yet (a later FuseActivations pass can
+// then claim the trailing relu), and after it when the activation is
+// already fused — matching the unfused dataflow order exactly, so results
+// stay bit-identical. The conv must have the add as its sole consumer (this
+// also rules out the residual operand depending on the conv, i.e. cycles),
+// must not be a graph output, and both nodes must share a device.
+func FuseConvResidual(g *Graph) int {
+	fused := 0
+	for {
+		consumers := g.Consumers()
+		outputs := outputSet(g)
+		progress := false
+	scan:
+		for _, n := range g.OpNodes() {
+			if _, ok := n.Op.(*AddOp); !ok || len(n.Inputs) != 2 {
+				continue
+			}
+			for ci := 0; ci < 2; ci++ {
+				conv := n.Inputs[ci]
+				res := n.Inputs[1-ci]
+				convOp, isConv := opAs[*ConvOp](conv)
+				if !isConv || convOp.Residual || res == conv {
+					continue
+				}
+				if len(consumers[conv]) != 1 || outputs[conv] || conv.Device != n.Device {
+					continue
+				}
+				if !shapesEqual(res.OutShape, conv.OutShape) {
+					continue
+				}
+				newOp := *convOp
+				newOp.Residual = true
+				newOp.ResidualPostAct = convOp.W.FusedActivation != ops.ActNone
+				conv.Op = &newOp
+				conv.Inputs = append(append([]*Node(nil), conv.Inputs...), res)
+				g.replaceUses(n, conv)
+				obs.Count("fusion.nodes_fused.residual", 1)
+				fused++
+				progress = true
+				break scan // edges changed; rebuild consumers
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if fused > 0 {
+		g.EliminateDead()
+		resort(g)
+	}
+	return fused
+}
+
+// FuseElementwise collapses straight-line chains of elementwise operators
+// (relu, leaky_relu, sigmoid, add) into a single FusedElementwiseOp that
+// applies every stage per element in one memory pass, instead of one full
+// read-modify-write sweep per node. Chain interiors must be private — a
+// single consumer, not a graph output, same device — and an add extends a
+// chain only through its first operand, so the fused per-element order is
+// exactly the unfused order and results stay bit-identical. Device-copy
+// nodes (and every other non-elementwise kind) break chains. Returns the
+// number of nodes eliminated.
+func FuseElementwise(g *Graph) int {
+	consumers := g.Consumers()
+	outputs := outputSet(g)
+	claimed := map[*Node]bool{}
+
+	elementwise := func(n *Node) bool {
+		switch n.Op.(type) {
+		case *ActivationOp, *SigmoidOp:
+			return true
+		case *AddOp:
+			return len(n.Inputs) == 2
+		}
+		return false
+	}
+
+	// Collect maximal disjoint chains against one consumers snapshot.
+	// Walking OpNodes in topological order guarantees each chain is first
+	// visited at its head; later members are claimed by then.
+	var chains [][]*Node
+	for _, n := range g.OpNodes() {
+		if claimed[n] || !elementwise(n) {
+			continue
+		}
+		chain := []*Node{n}
+		inChain := map[*Node]bool{n: true}
+		for {
+			cur := chain[len(chain)-1]
+			if len(consumers[cur]) != 1 || outputs[cur] {
+				break // interior values must not be observable elsewhere
+			}
+			next := consumers[cur][0]
+			if claimed[next] || !elementwise(next) || next.Device != cur.Device {
+				break
+			}
+			if next.Inputs[0] != cur {
+				break // add joins the chain through operand 0 only
+			}
+			if len(next.Inputs) == 2 && inChain[next.Inputs[1]] {
+				break // extra operand is an unmaterialized chain value
+			}
+			chain = append(chain, next)
+			inChain[next] = true
+		}
+		if len(chain) < 2 {
+			continue
+		}
+		for _, m := range chain {
+			claimed[m] = true
+		}
+		chains = append(chains, chain)
+	}
+
+	eliminated := 0
+	for _, chain := range chains {
+		// Read inputs live: an earlier chain's rewrite may have rewired
+		// this chain's source or extra operands via replaceUses.
+		stages := make([]ops.ElementwiseStage, 0, len(chain))
+		inputs := []*Node{chain[0].Inputs[0]}
+		for _, m := range chain {
+			switch op := m.Op.(type) {
+			case *ActivationOp:
+				if op.Act == ops.ActLeakyReLU {
+					stages = append(stages, ops.ElementwiseStage{Kind: ops.EwLeakyReLU, Alpha: op.Alpha})
+				} else {
+					stages = append(stages, ops.ElementwiseStage{Kind: ops.EwReLU})
+				}
+			case *SigmoidOp:
+				stages = append(stages, ops.ElementwiseStage{Kind: ops.EwSigmoid})
+			case *AddOp:
+				stages = append(stages, ops.ElementwiseStage{Kind: ops.EwAdd})
+				inputs = append(inputs, m.Inputs[1])
+			}
+		}
+		last := chain[len(chain)-1]
+		fnode := g.Apply(last.Name+"_fusedew", &FusedElementwiseOp{Stages: stages}, inputs...)
+		fnode.Device = last.Device
+		g.replaceUses(last, fnode)
+		obs.Count("fusion.nodes_fused.elementwise", int64(len(chain)-1))
+		eliminated += len(chain) - 1
+	}
+	if len(chains) > 0 {
+		g.EliminateDead()
+		resort(g)
+	}
+	return eliminated
+}
+
+// outputSet returns the graph outputs as a set; fusion passes must not
+// hide a node whose raw value the caller observes.
+func outputSet(g *Graph) map[*Node]bool {
+	m := make(map[*Node]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		m[o] = true
+	}
+	return m
+}
+
+// shapesEqual reports whether two shapes match dimension for dimension.
+func shapesEqual(a, b tensor.Shape) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // PrecomputeConstants evaluates operator nodes whose inputs are all
@@ -144,6 +359,11 @@ func Optimize(g *Graph) {
 	defer sp.End()
 	runPass(g, "fold_batch_norm", FoldBatchNorm)
 	runPass(g, "fuse_activations", FuseActivations)
+	runPass(g, "fuse_conv_residual", FuseConvResidual)
+	// A residual fuse frees the relu that followed the add; a second
+	// activation pass claims it into the conv epilogue (pre-act order).
+	runPass(g, "fuse_activations", FuseActivations)
+	runPass(g, "fuse_elementwise", FuseElementwise)
 	runPass(g, "precompute_constants", PrecomputeConstants)
 	runPass(g, "eliminate_dead", func(g *Graph) int { return g.EliminateDead() })
 }

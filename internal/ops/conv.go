@@ -26,6 +26,13 @@ func Conv2D(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Tensor {
 // Taps still accumulate in ascending (ci, ky, kx) order, which keeps the
 // result bit-identical to the naive per-tap-branching loop.
 func Conv2DInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
+	conv2DDirectInto(out, in, weight, bias, nil, w, false)
+}
+
+// conv2DDirectInto is the direct kernel with the full fused epilogue:
+// bias, an optional residual row (res, same shape as out) and the fused
+// activation, applied per element in convEpilogue order.
+func conv2DDirectInto(out, in, weight, bias *tensor.Tensor, rd []float32, w ConvWorkload, postAct bool) {
 	oh, ow := w.OutH(), w.OutW()
 	g := max(1, w.Groups)
 	cinPerG := w.CIn / g
@@ -66,7 +73,8 @@ func Conv2DInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
 						}
 					}
 				}
-				od[((n*w.COut+co)*oh+y)*ow+x] = applyActivation(sum, w.FusedActivation)
+				oi := ((n*w.COut+co)*oh+y)*ow + x
+				od[oi] = convEpilogue(sum, rd, oi, w.FusedActivation, postAct)
 			}
 		}
 	})
@@ -96,8 +104,25 @@ func applyActivation(v float32, a Activation) float32 {
 		}
 	case ActLeakyReLU:
 		if v < 0 {
-			return 0.1 * v
+			return LeakyAlpha * v
 		}
+	}
+	return v
+}
+
+// convEpilogue finishes one conv output element: the optional fused
+// residual row rd (indexed like the output) is added before the activation
+// for the ResNet conv→add→relu pattern, or after it (postAct) for the
+// Darknet conv(+act)→add pattern. The per-element operation order matches
+// the unfused AddInto/activation kernels exactly, so fusing is
+// bit-preserving.
+func convEpilogue(v float32, rd []float32, oi int, a Activation, postAct bool) float32 {
+	if rd != nil && !postAct {
+		v += rd[oi]
+	}
+	v = applyActivation(v, a)
+	if rd != nil && postAct {
+		v += rd[oi]
 	}
 	return v
 }
@@ -142,6 +167,13 @@ func Dense(in, weight, bias *tensor.Tensor) *tensor.Tensor {
 
 // DenseInto is Dense computing into a caller-provided (N, O) tensor.
 func DenseInto(out, in, weight, bias *tensor.Tensor) {
+	DenseActInto(out, in, weight, bias, ActNone)
+}
+
+// DenseActInto is DenseInto with a fused activation epilogue: the
+// activation is applied to each finished accumulator exactly as a separate
+// elementwise pass would, so fusing it is bit-preserving.
+func DenseActInto(out, in, weight, bias *tensor.Tensor, act Activation) {
 	n := in.Shape()[0]
 	k := in.Shape()[1]
 	o := weight.Shape()[0]
@@ -159,6 +191,6 @@ func DenseInto(out, in, weight, bias *tensor.Tensor) {
 		for i := 0; i < k; i++ {
 			sum += ind[ni*k+i] * wd[oi*k+i]
 		}
-		od[ni*o+oi] = sum
+		od[ni*o+oi] = applyActivation(sum, act)
 	})
 }

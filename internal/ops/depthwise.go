@@ -17,6 +17,12 @@ func Conv2DDepthwise(in, weight, bias *tensor.Tensor, w ConvWorkload) *tensor.Te
 // with the bias as the initial value, so results are bit-identical to the
 // direct kernel.
 func Conv2DDepthwiseInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
+	conv2DDepthwiseInto(out, in, weight, bias, nil, w, false)
+}
+
+// conv2DDepthwiseInto is the depthwise kernel with the full fused epilogue
+// (bias, optional residual row, activation); see convEpilogue.
+func conv2DDepthwiseInto(out, in, weight, bias *tensor.Tensor, rd []float32, w ConvWorkload, postAct bool) {
 	oh, ow := w.OutH(), w.OutW()
 	ind := in.Data()
 	wd := weight.Data()
@@ -50,7 +56,8 @@ func Conv2DDepthwiseInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
 						sum += ind[iRow+kx] * wd[wRow+kx]
 					}
 				}
-				od[((n*w.COut+c)*oh+y)*ow+x] = applyActivation(sum, w.FusedActivation)
+				oi := ((n*w.COut+c)*oh+y)*ow + x
+				od[oi] = convEpilogue(sum, rd, oi, w.FusedActivation, postAct)
 			}
 		}
 	})

@@ -130,10 +130,11 @@ func im2colPacked(bp []float32, ind []float32, w ConvWorkload, n, grp int) {
 	})
 }
 
-// conv2DGEMMInto runs the im2col-GEMM convolution. packedA must come from
-// PackConvWeightsGEMM; scratch must hold GEMMScratchElems(w) float32s (pass
-// nil to allocate locally).
-func conv2DGEMMInto(out, in, bias *tensor.Tensor, w ConvWorkload, packedA, scratch []float32) {
+// conv2DGEMMInto runs the im2col-GEMM convolution with the full fused
+// epilogue (bias, optional residual row rd, activation; see convEpilogue).
+// packedA must come from PackConvWeightsGEMM; scratch must hold
+// GEMMScratchElems(w) float32s (pass nil to allocate locally).
+func conv2DGEMMInto(out, in, bias *tensor.Tensor, rd []float32, w ConvWorkload, packedA, scratch []float32, postAct bool) {
 	g := max(1, w.Groups)
 	cinPerG := w.CIn / g
 	coutPerG := w.COut / g
@@ -167,7 +168,7 @@ func conv2DGEMMInto(out, in, bias *tensor.Tensor, w ConvWorkload, packedA, scrat
 				j0, j1 := nb*gemmNC, min((nb+1)*gemmNC, nCols)
 				for i := i0; i < i1; i += gemmMR {
 					for j := j0; j < j1; j += gemmNR {
-						gemmMicro(od, pa, scratch, bd, w, grp, coutPerG, k, nCols, outBase, i, j)
+						gemmMicro(od, pa, scratch, bd, rd, w, grp, coutPerG, k, nCols, outBase, i, j, postAct)
 					}
 				}
 			})
@@ -177,8 +178,9 @@ func conv2DGEMMInto(out, in, bias *tensor.Tensor, w ConvWorkload, packedA, scrat
 
 // gemmMicro computes one gemmMR x gemmNR output tile: 16 register
 // accumulators initialized to the row's bias, accumulated over the full K
-// extent in ascending order, with the activation applied at write-out.
-func gemmMicro(od, pa, pb, bd []float32, w ConvWorkload, grp, coutPerG, k, nCols, outBase, i0, j0 int) {
+// extent in ascending order, with the epilogue (residual + activation)
+// applied at write-out.
+func gemmMicro(od, pa, pb, bd, rd []float32, w ConvWorkload, grp, coutPerG, k, nCols, outBase, i0, j0 int, postAct bool) {
 	var c00, c01, c02, c03 float32
 	var c10, c11, c12, c13 float32
 	var c20, c21, c22, c23 float32
@@ -230,27 +232,27 @@ func gemmMicro(od, pa, pb, bd []float32, w ConvWorkload, grp, coutPerG, k, nCols
 	mv := coutPerG - i0 // valid rows in this tile
 	nv := nCols - j0    // valid cols in this tile
 	act := w.FusedActivation
-	writeGemmRow(od, outBase+(i0+0)*nCols+j0, nv, act, c00, c01, c02, c03)
+	writeGemmRow(od, rd, outBase+(i0+0)*nCols+j0, nv, act, postAct, c00, c01, c02, c03)
 	if mv > 1 {
-		writeGemmRow(od, outBase+(i0+1)*nCols+j0, nv, act, c10, c11, c12, c13)
+		writeGemmRow(od, rd, outBase+(i0+1)*nCols+j0, nv, act, postAct, c10, c11, c12, c13)
 	}
 	if mv > 2 {
-		writeGemmRow(od, outBase+(i0+2)*nCols+j0, nv, act, c20, c21, c22, c23)
+		writeGemmRow(od, rd, outBase+(i0+2)*nCols+j0, nv, act, postAct, c20, c21, c22, c23)
 	}
 	if mv > 3 {
-		writeGemmRow(od, outBase+(i0+3)*nCols+j0, nv, act, c30, c31, c32, c33)
+		writeGemmRow(od, rd, outBase+(i0+3)*nCols+j0, nv, act, postAct, c30, c31, c32, c33)
 	}
 }
 
-func writeGemmRow(od []float32, base, nv int, act Activation, v0, v1, v2, v3 float32) {
-	od[base] = applyActivation(v0, act)
+func writeGemmRow(od, rd []float32, base, nv int, act Activation, postAct bool, v0, v1, v2, v3 float32) {
+	od[base] = convEpilogue(v0, rd, base, act, postAct)
 	if nv > 1 {
-		od[base+1] = applyActivation(v1, act)
+		od[base+1] = convEpilogue(v1, rd, base+1, act, postAct)
 	}
 	if nv > 2 {
-		od[base+2] = applyActivation(v2, act)
+		od[base+2] = convEpilogue(v2, rd, base+2, act, postAct)
 	}
 	if nv > 3 {
-		od[base+3] = applyActivation(v3, act)
+		od[base+3] = convEpilogue(v3, rd, base+3, act, postAct)
 	}
 }

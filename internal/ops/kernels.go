@@ -181,14 +181,29 @@ func (p *PreparedConv) ScratchElems() int {
 // RunInto executes the prepared convolution into out. scratch may be nil
 // (or short), in which case the kernel allocates its own.
 func (p *PreparedConv) RunInto(out, in, bias *tensor.Tensor, scratch []float32) {
+	p.RunIntoEpilogue(out, in, bias, nil, scratch, false)
+}
+
+// RunIntoEpilogue is RunInto with the fused residual epilogue: residual
+// (same shape as out, nil for none) is added into every output element
+// before the fused activation, or after it when postAct is set — the
+// ResNet conv→add→relu and Darknet conv(+act)→add patterns respectively.
+// Every kernel applies the identical per-element epilogue order, so the
+// result is bit-identical to running the add (and activation) as separate
+// kernels. residual must not alias out.
+func (p *PreparedConv) RunIntoEpilogue(out, in, bias, residual *tensor.Tensor, scratch []float32, postAct bool) {
+	var rd []float32
+	if residual != nil {
+		rd = residual.Data()
+	}
 	switch p.kernel {
 	case KernelDepthwise:
-		Conv2DDepthwiseInto(out, in, p.weight, bias, p.w)
+		conv2DDepthwiseInto(out, in, p.weight, bias, rd, p.w, postAct)
 	case KernelWinograd:
-		conv2DWinogradPackedInto(out, in, bias, p.w, p.packed)
+		conv2DWinogradPackedInto(out, in, bias, rd, p.w, p.packed, postAct)
 	case KernelGEMM:
-		conv2DGEMMInto(out, in, bias, p.w, p.packed, scratch)
+		conv2DGEMMInto(out, in, bias, rd, p.w, p.packed, scratch, postAct)
 	default:
-		Conv2DInto(out, in, p.weight, bias, p.w)
+		conv2DDirectInto(out, in, p.weight, bias, rd, p.w, postAct)
 	}
 }

@@ -196,13 +196,14 @@ func PackConvWeightsWinograd(weight *tensor.Tensor, w ConvWorkload) []float32 {
 // rounding of the transform arithmetic (~1e-4 relative; see the golden
 // tolerance tests).
 func Conv2DWinogradInto(out, in, weight, bias *tensor.Tensor, w ConvWorkload) {
-	conv2DWinogradPackedInto(out, in, bias, w, PackConvWeightsWinograd(weight, w))
+	conv2DWinogradPackedInto(out, in, bias, nil, w, PackConvWeightsWinograd(weight, w), false)
 }
 
 // conv2DWinogradPackedInto runs F(2x2,3x3) with pre-transformed filters
-// (from PackConvWeightsWinograd). It allocates nothing: all tile state
-// lives in fixed-size stack arrays.
-func conv2DWinogradPackedInto(out, in, bias *tensor.Tensor, w ConvWorkload, packedU []float32) {
+// (from PackConvWeightsWinograd) and the full fused epilogue (bias,
+// optional residual row rd, activation; see convEpilogue). It allocates
+// nothing: all tile state lives in fixed-size stack arrays.
+func conv2DWinogradPackedInto(out, in, bias *tensor.Tensor, rd []float32, w ConvWorkload, packedU []float32, postAct bool) {
 	if !WinogradSupported(w) {
 		panic("ops: Winograd F(2x2,3x3) requires a dense 3x3 stride-1 convolution")
 	}
@@ -262,7 +263,7 @@ func conv2DWinogradPackedInto(out, in, bias *tensor.Tensor, w ConvWorkload, pack
 						if ox >= ow {
 							continue
 						}
-						od[oRow+ox] = applyActivation(y2[dy][dx]+b, w.FusedActivation)
+						od[oRow+ox] = convEpilogue(y2[dy][dx]+b, rd, oRow+ox, w.FusedActivation, postAct)
 					}
 				}
 			}

@@ -76,6 +76,12 @@ type planNode struct {
 	conv         *ops.PreparedConv
 	scratchSlot  int
 	scratchElems int
+	// biasArg/resArg are the prepacked conv's optional bias and fused
+	// residual positions in args (-1 when absent); postAct orders the
+	// residual add after the fused activation (see ops.RunIntoEpilogue).
+	biasArg int
+	resArg  int
+	postAct bool
 
 	// consumers are the plan-node indices to notify on completion: the data
 	// edges plus the anti-dependency (buffer-reuse) edges; pending is the
@@ -144,6 +150,7 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 			name: n.Name, kind: n.Op.Kind(), device: n.Device,
 			op: n.Op, outShape: n.OutShape, elems: n.OutShape.NumElements(),
 			gpu: n.Device == graph.OnGPU, scratchSlot: -1,
+			biasArg: -1, resArg: -1,
 		}
 		if io, ok := n.Op.(graph.IntoOperator); ok {
 			pn.into = io
@@ -156,6 +163,8 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 			len(n.Inputs) > 1 && n.Inputs[1].IsConstant() {
 			pn.conv = ops.PrepareConv(convOp.W, convOp.Kernel, n.Inputs[1].Value)
 			pn.scratchElems = pn.conv.ScratchElems()
+			pn.biasArg, pn.resArg = convOp.ArgIndices(len(n.Inputs))
+			pn.postAct = convOp.ResidualPostAct
 			pn.profKind = pn.kind + "/" + pn.conv.Kernel().String()
 			obs.Count("kernel.selected."+pn.conv.Kernel().String(), 1)
 		}
@@ -696,12 +705,18 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool, lane string, 
 	}
 	if pn.conv != nil {
 		// Prepacked convolution: selected kernel, plan-time weight layout,
-		// arena-backed scratch — no per-run packing or allocation.
-		var bias *tensor.Tensor
-		if len(ins) > 2 {
-			bias = ins[2]
+		// arena-backed scratch — no per-run packing or allocation. The fused
+		// residual (FuseConvResidual) rides in as an extra input; the output
+		// slot is acquired before input slots are released, so the residual
+		// never aliases the buffer being written.
+		var bias, res *tensor.Tensor
+		if pn.biasArg >= 0 {
+			bias = ins[pn.biasArg]
 		}
-		pn.conv.RunInto(s.outs[i], ins[0], bias, s.scratch[i])
+		if pn.resArg >= 0 {
+			res = ins[pn.resArg]
+		}
+		pn.conv.RunIntoEpilogue(s.outs[i], ins[0], bias, res, s.scratch[i], pn.postAct)
 	} else if pn.into != nil {
 		pn.into.ExecuteInto(s.outs[i], ins)
 	} else {
