@@ -12,14 +12,17 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 # verify is the CI gate: compile everything, lint, and run the full test
-# suite under the race detector.
+# suite under the race detector. The explicit -timeout covers the
+# whole-zoo accuracy sweeps (goldens, fusion cross-checks, dtype
+# budgets), which exceed Go's default 10m per-package budget under the
+# race scheduler when packages contend for CPU.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 # bench runs the runtime + ops benchmarks (session hot path, pooled
 # kernels, per-kernel conv comparisons, dispatch overhead), archives them

@@ -172,11 +172,26 @@ func checkRegression(path string, maxPct float64, gated string, cur File) []stri
 
 	var names []string
 	if gated != "" {
+		// A gated name covers the benchmark itself and its sub-benchmark
+		// variants Name/<sub>, same as the alloc gates. A name with no
+		// match at all stays in the list so the missing-benchmark error
+		// below fires — a renamed benchmark must not silently drop out.
 		for _, n := range strings.Split(gated, ",") {
-			if n = strings.TrimSpace(n); n != "" {
+			if n = strings.TrimSpace(n); n == "" {
+				continue
+			}
+			matched := false
+			for cn := range curBest {
+				if cn == n || strings.HasPrefix(cn, n+"/") {
+					names = append(names, cn)
+					matched = true
+				}
+			}
+			if !matched {
 				names = append(names, n)
 			}
 		}
+		sort.Strings(names)
 	} else {
 		for n := range curBest {
 			if _, ok := baseBest[n]; ok {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLineMetrics(t *testing.T) {
 	res, ok := parseLine("BenchmarkConvKernels/resnet50_c64/gemm-8  20  716360 ns/op  231211008 flops  0 B/op  0 allocs/op")
@@ -42,3 +48,44 @@ func TestCheckAllocGates(t *testing.T) {
 		t.Fatalf("empty spec must pass: %v", errs)
 	}
 }
+
+func TestCheckRegressionGatedSubBenchmarks(t *testing.T) {
+	base := File{Results: []Result{
+		{Name: "BenchmarkSessionRun/dtype=fp32-8", NsPerOp: 100},
+		{Name: "BenchmarkSessionRun/dtype=fp16-8", NsPerOp: 100},
+		{Name: "BenchmarkDenseInto-8", NsPerOp: 100},
+	}}
+	path := writeBaseline(t, base)
+
+	cur := File{Results: []Result{
+		{Name: "BenchmarkSessionRun/dtype=fp32-8", NsPerOp: 105},
+		{Name: "BenchmarkSessionRun/dtype=fp16-8", NsPerOp: 300}, // regressed
+		{Name: "BenchmarkDenseInto-8", NsPerOp: 100},
+	}}
+	// The gated parent name expands to every dtype sub-benchmark, so the
+	// fp16 regression is caught even though only the parent is listed.
+	errs := checkRegression(path, 15, "BenchmarkSessionRun,BenchmarkDenseInto", cur)
+	if len(errs) != 1 || !contains(errs[0], "dtype=fp16") {
+		t.Fatalf("want one fp16 regression, got %v", errs)
+	}
+	// A gated name matching nothing in the fresh run must fail loudly.
+	errs = checkRegression(path, 15, "BenchmarkRenamed", cur)
+	if len(errs) != 1 || !contains(errs[0], "missing") {
+		t.Fatalf("missing gated benchmark must error, got %v", errs)
+	}
+}
+
+func writeBaseline(t *testing.T, f File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -35,7 +36,8 @@ func main() {
 	// node dispatches; tables stop between models).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,kernels,fusion,all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1,2,3,4,5,fallback,figure2,figure3,irsize,experiments,kernels,fusion,dtype,all")
+	dtype := flag.String("dtype", "fp32", "storage/compute precision for serving mode: fp32 | fp16 | int8 | auto")
 	jsonPath := flag.String("json", "", "also write Tables 1-3 results as machine-readable JSON to this file")
 	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule searches)")
 	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
@@ -80,7 +82,7 @@ func main() {
 		if *faults {
 			cfg = &sim.FaultConfig{Seed: *faultSeed, Rate: *faultRate, HangLatency: *faultHang}
 		}
-		serve(ctx, *model, *size, *streams, *requests, *workers, *gpuStreams, *batchSz, *linger, cfg, *profile, *jsonPath)
+		serve(ctx, *model, *size, *dtype, *streams, *requests, *workers, *gpuStreams, *batchSz, *linger, cfg, *profile, *jsonPath)
 		if *metrics {
 			fmt.Print(obs.DumpMetrics())
 		}
@@ -143,6 +145,9 @@ func main() {
 		return
 	case "fusion":
 		fusionTable()
+		return
+	case "dtype":
+		dtypeTable()
 		return
 	}
 	switch *table {
@@ -289,6 +294,121 @@ func fusionTable() {
 	}
 }
 
+// dtypeTable compares each zoo model compiled at fp32 / fp16 / int8 / auto:
+// simulated latency, wall clock (best of 3), arena and intermediate bytes at
+// per-slot element width, and the output error against the fp32 reference.
+// Classification outputs compare elementwise (relative to the reference's
+// max magnitude); detection outputs compare the sorted score column, which
+// is stable under the box-coordinate blowups random-weight decode produces.
+// This is the source of the EXPERIMENTS.md "Mixed precision" table.
+func dtypeTable() {
+	sizes := []struct {
+		name string
+		size int
+	}{
+		{"ResNet50_v1", 96}, {"MobileNet1.0", 96}, {"SqueezeNet1.0", 96},
+		{"SSD_MobileNet1.0", 128}, {"SSD_ResNet50", 128}, {"Yolov3", 96},
+	}
+	fmt.Println("Mixed precision & quantization: per-dtype compile of the zoo (DeepLens, untuned schedules)")
+	fmt.Printf("%-18s %-5s %9s %9s %10s %10s %7s %6s %12s\n",
+		"model", "dtype", "sim ms", "wall ms", "arena KiB", "inter KiB", "casts", "fused", "max rel err")
+	for _, mc := range sizes {
+		var ref *tensor.Tensor
+		for _, dt := range []string{"fp32", "fp16", "int8", "auto"} {
+			eng := unigpu.NewEngine()
+			cm, err := eng.Compile(mc.name, unigpu.DeepLens,
+				unigpu.CompileOptions{InputSize: mc.size, SkipTuning: true, DType: dt})
+			if err != nil {
+				log.Fatalf("compile %s %s: %v", mc.name, dt, err)
+			}
+			plan, err := cm.Plan()
+			if err != nil {
+				log.Fatalf("plan %s %s: %v", mc.name, dt, err)
+			}
+			sess, err := cm.NewSession()
+			if err != nil {
+				log.Fatalf("session %s %s: %v", mc.name, dt, err)
+			}
+			in := tensor.New(1, 3, mc.size, mc.size)
+			in.FillRandom(42)
+			out, err := sess.Run(in) // warm-up
+			if err != nil {
+				log.Fatalf("run %s %s: %v", mc.name, dt, err)
+			}
+			best := 0.0
+			for rep := 0; rep < 3; rep++ {
+				t0 := time.Now()
+				if out, err = sess.Run(in); err != nil {
+					log.Fatalf("run %s %s: %v", mc.name, dt, err)
+				}
+				if v := float64(time.Since(t0).Microseconds()) / 1e3; rep == 0 || v < best {
+					best = v
+				}
+			}
+			relErr := 0.0
+			if dt == "fp32" {
+				ref = out.Clone()
+			} else {
+				relErr = outputRelErr(ref, out)
+			}
+			fmt.Printf("%-18s %-5s %9.2f %9.2f %10d %10d %7d %6d %12.2e\n",
+				mc.name, dt, cm.PredictedLatencyMs, best,
+				plan.ArenaBytes()/1024, plan.IntermediateBytes()/1024,
+				cm.Quant.CastsInserted, cm.Quant.CastsFused, relErr)
+		}
+	}
+}
+
+// outputRelErr is the tolerance-harness error metric: elementwise max
+// |got-ref| normalized by the reference's max finite magnitude; rank-3
+// detection tensors compare the descending score column instead (box
+// coordinates are chaotic under random weights — see EXPERIMENTS.md).
+func outputRelErr(ref, got *tensor.Tensor) float64 {
+	if ref.Rank() == 3 {
+		return scoreColRelErr(ref, got)
+	}
+	scale, worst := 0.0, 0.0
+	n := ref.Size()
+	for i := 0; i < n; i++ {
+		if v := math.Abs(float64(ref.GetF(i))); !math.IsInf(v, 0) && !math.IsNaN(v) && v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for i := 0; i < n; i++ {
+		r, g := float64(ref.GetF(i)), float64(got.GetF(i))
+		if math.IsInf(r, 0) || math.IsNaN(r) || math.IsInf(g, 0) || math.IsNaN(g) {
+			continue
+		}
+		if d := math.Abs(g-r) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// scoreColRelErr compares detection outputs on the sorted confidence
+// column only (rows are [class score x1 y1 x2 y2], already score-ordered).
+func scoreColRelErr(ref, got *tensor.Tensor) float64 {
+	rows := ref.Shape()[1]
+	if g := got.Shape()[1]; g < rows {
+		rows = g
+	}
+	worst := 0.0
+	for i := 0; i < rows; i++ {
+		r, g := float64(ref.At(0, i, 1)), float64(got.At(0, i, 1))
+		if math.IsNaN(r) || math.IsNaN(g) {
+			continue
+		}
+		if d := math.Abs(g - r); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // modelPlanInput pairs an optimized model graph with its input feeds.
 type modelPlanInput struct {
 	graph *graph.Graph
@@ -345,9 +465,9 @@ type servingReport struct {
 // adds the degraded-mode counters plus the rolling SLO lines. Reports
 // aggregate QPS and per-request p50/p99; jsonPath writes the full
 // machine-readable servingReport.
-func serve(ctx context.Context, model string, size, streams, requests, workers, gpuStreams, batch int, linger time.Duration, faultCfg *sim.FaultConfig, profile bool, jsonPath string) {
+func serve(ctx context.Context, model string, size int, dtype string, streams, requests, workers, gpuStreams, batch int, linger time.Duration, faultCfg *sim.FaultConfig, profile bool, jsonPath string) {
 	eng := unigpu.NewEngine()
-	cm, err := eng.Compile(model, unigpu.DeepLens, unigpu.CompileOptions{InputSize: size, SkipTuning: true})
+	cm, err := eng.Compile(model, unigpu.DeepLens, unigpu.CompileOptions{InputSize: size, SkipTuning: true, DType: dtype})
 	if err != nil {
 		log.Fatalf("compile: %v", err)
 	}

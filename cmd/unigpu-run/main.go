@@ -28,6 +28,7 @@ func main() {
 	size := flag.Int("size", 0, "square input size (0 = model default; small sizes run faster functionally)")
 	fallback := flag.Bool("fallback-nms", false, "place NMS on the companion CPU (§3.1.2)")
 	untuned := flag.Bool("untuned", false, "skip schedule tuning (Table 5's Before)")
+	dtype := flag.String("dtype", "fp32", "storage/compute precision: fp32 | fp16 | int8 | auto")
 	dbPath := flag.String("db", "", "tuning-records database path (warm DB skips the schedule search)")
 	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list models and platforms")
@@ -82,6 +83,7 @@ func main() {
 		InputSize:   *size,
 		FallbackNMS: *fallback,
 		SkipTuning:  *untuned,
+		DType:       *dtype,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,6 +100,11 @@ func main() {
 	stats := cm.GraphStats()
 	fmt.Printf("graph: %d ops (%d conv), %d on CPU, %d device copies\n",
 		stats.Ops, stats.Convs, stats.OnCPU, stats.Copies)
+	if cm.DType != "fp32" {
+		fmt.Printf("precision %s: %d fp16 carriers, %d fp16 convs, %d int8 convs, %d casts inserted (%d fused away)\n",
+			cm.DType, cm.Quant.FP16Nodes, cm.Quant.FP16Convs, cm.Quant.INT8Convs,
+			cm.Quant.CastsInserted, cm.Quant.CastsFused)
+	}
 
 	in := unigpu.NewTensor(cm.InputShape()...)
 	in.FillRandom(42)

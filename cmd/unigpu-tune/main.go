@@ -16,10 +16,12 @@ import (
 
 	"unigpu/internal/autotvm"
 	"unigpu/internal/codegen"
+	"unigpu/internal/graph"
 	"unigpu/internal/models"
 	"unigpu/internal/obs"
 	"unigpu/internal/ops"
 	"unigpu/internal/sim"
+	"unigpu/internal/tensor"
 	"unigpu/internal/templates"
 )
 
@@ -38,6 +40,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel tuning workers (0 = GOMAXPROCS)")
 	emit := flag.Bool("emit", false, "print the generated CUDA/OpenCL for the best schedule")
 	seed := flag.Int64("seed", 1, "search RNG seed")
+	dtype := flag.String("dtype", "fp32",
+		"also pin roofline kernel choices at this storage dtype: fp32 | fp16 | int8 | auto (auto pins all three)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics dump after tuning")
 	listen := flag.String("listen", "", "serve live telemetry on this address for the run's duration (/metrics, /healthz, /debug/plans)")
@@ -155,6 +159,38 @@ func main() {
 			fmt.Println(codegen.Emit(k, codegen.OpenCL))
 		}
 	}
+	// Pin per-dtype kernel-choice records for the tuned workloads so
+	// later compiles at that precision resolve from the database instead
+	// of re-running the cost model. Routing through SelectConvKernels on
+	// a throwaway one-conv-per-workload graph reuses the exact selection
+	// and no-clobber logic compiles see.
+	if mode, ok := graph.ParseQuantMode(*dtype); !ok {
+		log.Fatalf("unknown dtype %q (want fp32, fp16, int8, auto)", *dtype)
+	} else if ctx.Err() == nil {
+		var dts []tensor.DType
+		switch mode {
+		case graph.QuantFP16:
+			dts = []tensor.DType{tensor.Float16}
+		case graph.QuantINT8:
+			dts = []tensor.DType{tensor.Int8}
+		case graph.QuantAuto:
+			dts = []tensor.DType{tensor.Float32, tensor.Float16, tensor.Int8}
+		default:
+			dts = []tensor.DType{tensor.Float32}
+		}
+		kg := graph.New()
+		for i, w := range workloads {
+			in := kg.Input(fmt.Sprintf("in%d", i), w.N, w.CIn, w.H, w.W)
+			wt := kg.Constant(fmt.Sprintf("w%d", i),
+				tensor.New(w.COut, w.CIn/max(1, w.Groups), w.KH, w.KW))
+			for _, dt := range dts {
+				kg.Apply(fmt.Sprintf("c%d_%s", i, dt), &graph.ConvOp{W: w, DType: dt}, in, wt)
+			}
+		}
+		graph.SelectConvKernels(kg, graph.KernelSelection{Device: platform.GPU, DB: db})
+		log.Printf("pinned kernel choices for %d workloads at %s", len(workloads), mode)
+	}
+
 	if err := db.Save(); err != nil {
 		log.Fatalf("save db: %v", err)
 	}

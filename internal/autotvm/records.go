@@ -57,13 +57,27 @@ type StoredRecord struct {
 	Candidates []StoredCandidate `json:"candidates,omitempty"`
 	// Kernel is the conv algorithm name of a KindKernel record.
 	Kernel string `json:"kernel,omitempty"`
+	// DType is the storage dtype a KindKernel record was selected for.
+	// Empty means fp32: records written before mixed precision existed
+	// load (and keep their keys) unchanged.
+	DType string `json:"dtype,omitempty"`
 }
 
 func (r StoredRecord) key() string {
 	if r.Kind != "" {
-		return r.Device + "|" + r.Kind + "|" + r.Workload
+		return r.Device + "|" + r.Kind + "|" + dtypeKeySuffix(r.DType) + r.Workload
 	}
 	return r.Device + "|" + r.Workload
+}
+
+// dtypeKeySuffix maps a record dtype to its key segment. fp32 (and the
+// legacy empty string) contribute nothing, so pre-existing databases keep
+// resolving under the exact keys they were written with.
+func dtypeKeySuffix(dtype string) string {
+	if dtype == "" || dtype == "fp32" {
+		return ""
+	}
+	return dtype + "|"
 }
 
 // NewDB creates an in-memory database; path may be empty for no
@@ -250,11 +264,18 @@ func (db *DB) StoreCandidates(device, workload string, budget int, cands []Store
 }
 
 // LookupKernelChoice returns the stored conv algorithm name for a
-// (device, workload) pair, if a kernel record exists.
+// (device, workload) pair at fp32 storage, if a kernel record exists.
 func (db *DB) LookupKernelChoice(device, workload string) (string, bool) {
+	return db.LookupKernelChoiceDType(device, workload, "")
+}
+
+// LookupKernelChoiceDType is LookupKernelChoice for an explicit storage
+// dtype. "" and "fp32" resolve the legacy (dtype-less) key, so databases
+// written before mixed precision keep working.
+func (db *DB) LookupKernelChoiceDType(device, workload, dtype string) (string, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	r, ok := db.records[device+"|"+KindKernel+"|"+workload]
+	r, ok := db.records[device+"|"+KindKernel+"|"+dtypeKeySuffix(dtype)+workload]
 	if !ok || r.Kernel == "" {
 		return "", false
 	}
@@ -262,15 +283,26 @@ func (db *DB) LookupKernelChoice(device, workload string) (string, bool) {
 }
 
 // StoreKernelChoice records the conv algorithm chosen for a (device,
-// workload) pair together with its estimated per-invocation cost.
+// workload) pair at fp32 storage together with its estimated
+// per-invocation cost.
 func (db *DB) StoreKernelChoice(device, workload, kernel string, ms float64) {
+	db.StoreKernelChoiceDType(device, workload, "", kernel, ms)
+}
+
+// StoreKernelChoiceDType is StoreKernelChoice for an explicit storage
+// dtype ("" and "fp32" both write the legacy fp32 record).
+func (db *DB) StoreKernelChoiceDType(device, workload, dtype, kernel string, ms float64) {
+	if dtype == "fp32" {
+		dtype = ""
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.records[device+"|"+KindKernel+"|"+workload] = StoredRecord{
+	db.records[device+"|"+KindKernel+"|"+dtypeKeySuffix(dtype)+workload] = StoredRecord{
 		Device:   device,
 		Workload: workload,
 		Kind:     KindKernel,
 		Kernel:   kernel,
+		DType:    dtype,
 		Ms:       ms,
 	}
 }

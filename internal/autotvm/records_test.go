@@ -234,3 +234,56 @@ func TestKernelChoiceRecordsRoundTrip(t *testing.T) {
 		t.Fatalf("kernel record did not survive the disk round-trip: %q, %v", name, ok)
 	}
 }
+
+// TestKernelChoiceDTypeRoundTrip: per-dtype kernel records survive a
+// save/load cycle under distinct keys, and fp32 stays on the legacy
+// (dtype-less) key so databases written before the dtype field still
+// resolve through both the plain and the explicit-fp32 lookups.
+func TestKernelChoiceDTypeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.json")
+	db := NewDB(path)
+	const dev, wl = "testdev", "conv n1c64"
+	db.StoreKernelChoice(dev, wl, "winograd", 1.5)
+	db.StoreKernelChoiceDType(dev, wl, "fp16", "gemm", 0.9)
+	db.StoreKernelChoiceDType(dev, wl, "int8", "gemm", 0.7)
+	// "fp32" must alias the legacy record, not create a second key.
+	db.StoreKernelChoiceDType(dev, wl, "fp32", "direct", 1.4)
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := OpenDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dtype, kernel string
+	}{
+		{"", "direct"}, {"fp32", "direct"}, {"fp16", "gemm"}, {"int8", "gemm"},
+	}
+	for _, tc := range cases {
+		got, ok := loaded.LookupKernelChoiceDType(dev, wl, tc.dtype)
+		if !ok || got != tc.kernel {
+			t.Errorf("dtype %q: got %q/%v, want %q", tc.dtype, got, ok, tc.kernel)
+		}
+	}
+	if got, ok := loaded.LookupKernelChoice(dev, wl); !ok || got != "direct" {
+		t.Errorf("legacy lookup got %q/%v, want direct", got, ok)
+	}
+
+	// A database written without the dtype field (pre-dtype schema) must
+	// still resolve: strip the field by rewriting the record by hand.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`[{"device":"testdev","kind":"kernel","workload":"conv n1c64","kernel":"direct","ms":1.4}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ldb, err := OpenDB(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []string{"", "fp32"} {
+		if got, ok := ldb.LookupKernelChoiceDType(dev, wl, dt); !ok || got != "direct" {
+			t.Errorf("legacy file dtype %q: got %q/%v, want direct", dt, got, ok)
+		}
+	}
+}

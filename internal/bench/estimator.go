@@ -201,13 +201,16 @@ func (e *Estimator) OtherOpsMs(m *models.Model, d *sim.Device) float64 {
 			continue // conv/dense in the plan; vision in the profile
 		}
 		outE := float64(n.OutShape.NumElements())
-		inE := 0.0
+		bytes := outE * float64(n.StorageDType().Size())
 		for _, in := range n.Inputs {
 			if in.Op != nil || in.IsInput() {
-				inE += float64(in.OutShape.NumElements())
+				e := float64(in.OutShape.NumElements())
+				bytes += e * float64(in.StorageDType().Size())
 			}
 		}
-		total += sim.CostFlopsBytes(d, 2*outE, 4*(outE+inE), 1) * 1e3
+		// Traffic counts each tensor at its storage width (fp16 carriers
+		// halve it); elementwise flops stay priced at full rate.
+		total += sim.CostFlopsBytes(d, 2*outE, bytes/4, 4, 1) * 1e3
 	}
 	return total
 }

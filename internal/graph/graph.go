@@ -63,6 +63,13 @@ type Node struct {
 	// Value holds the constant for Constant nodes, and the pre-computed
 	// result after the precompute pass.
 	Value *tensor.Tensor
+
+	// DType is the storage type of the node's output buffer, assigned by
+	// the quantization pass (QuantizeGraph). The zero value Float32 keeps
+	// every pre-existing graph full precision. QScale is the per-tensor
+	// dequantization scale of an Int8-typed node (from calibration).
+	DType  tensor.DType
+	QScale float32
 }
 
 // IsConstant reports whether the node carries a compile-time value.
@@ -70,6 +77,16 @@ func (n *Node) IsConstant() bool { return n.Op == nil && n.Value != nil }
 
 // IsInput reports whether the node is a graph input placeholder.
 func (n *Node) IsInput() bool { return n.Op == nil && n.Value == nil }
+
+// StorageDType is the dtype this node's value presents to consumers:
+// constants report their tensor's storage, inputs are fed float32, and op
+// nodes carry their assigned dtype tag.
+func (n *Node) StorageDType() tensor.DType {
+	if n.IsConstant() {
+		return n.Value.DType()
+	}
+	return n.DType
+}
 
 // Graph is a DAG of operator nodes in topological order.
 type Graph struct {

@@ -29,6 +29,11 @@ type ConvOp struct {
 	Kernel          ops.ConvKernel
 	Residual        bool
 	ResidualPostAct bool
+	// DType is the storage dtype the kernel computes over (QuantizeGraph):
+	// the conv's data input must arrive in this dtype (the pass inserts
+	// casts), weights are narrowed at prepack time, and accumulation stays
+	// fp32 regardless.
+	DType tensor.DType
 }
 
 func (o *ConvOp) Kind() string { return "conv2d" }
@@ -80,13 +85,20 @@ func (o *ConvOp) InferShape(ins []tensor.Shape) tensor.Shape {
 	return tensor.Shape{o.W.N, o.W.COut, o.W.OutH(), o.W.OutW()}
 }
 func (o *ConvOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(o.W.N, o.W.COut, o.W.OutH(), o.W.OutW())
+	// A reduced-precision conv produces an fp16 carrier (int8 is a compute
+	// format here, not a carrier: the epilogue dequantizes to real values).
+	dt := tensor.Float32
+	if o.DType != tensor.Float32 {
+		dt = tensor.Float16
+	}
+	out := tensor.NewTyped(dt, o.W.N, o.W.COut, o.W.OutH(), o.W.OutW())
 	o.ExecuteInto(out, ins)
 	return out
 }
 func (o *ConvOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
 	bias, residual := o.SplitArgs(ins)
-	ops.PrepareConv(o.W, o.Kernel, ins[1]).RunIntoEpilogue(out, ins[0], bias, residual, nil, o.ResidualPostAct)
+	ops.PrepareConvDType(o.W, o.Kernel, ins[1], o.DType).
+		RunIntoEpilogue(out, ins[0], bias, residual, nil, nil, o.ResidualPostAct)
 }
 func (o *ConvOp) GPUFriendly() bool { return true }
 
@@ -224,9 +236,26 @@ func (o *FlattenOp) InferShape(ins []tensor.Shape) tensor.Shape {
 }
 func (o *FlattenOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ops.Flatten(ins[0]) }
 func (o *FlattenOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
-	// Row-major data is identical across the reshape; the pooled runtime
-	// wants its own buffer rather than a view, so copy.
-	copy(out.Data(), ins[0].Data())
+	// Row-major data is identical across the reshape, so copy raw storage
+	// without materializing a reshaped view — the shapes differ only in
+	// rank, and the session hot path must not allocate.
+	in := ins[0]
+	if out.DType() == in.DType() {
+		switch out.DType() {
+		case tensor.Float32:
+			copy(out.Data(), in.Data())
+		case tensor.Float16:
+			copy(out.Half(), in.Half())
+		case tensor.Int8:
+			copy(out.Int8Data(), in.Int8Data())
+			out.SetScale(in.Scale())
+		}
+		return
+	}
+	n := in.Size()
+	for i := 0; i < n; i++ {
+		out.SetF(i, in.GetF(i))
+	}
 }
 func (o *FlattenOp) GPUFriendly() bool { return true }
 
@@ -392,6 +421,34 @@ func (o *DeviceCopyOp) InferShape(ins []tensor.Shape) tensor.Shape {
 }
 func (o *DeviceCopyOp) Execute(ins []*tensor.Tensor) *tensor.Tensor { return ins[0].Clone() }
 func (o *DeviceCopyOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
-	copy(out.Data(), ins[0].Data())
+	tensor.Copy(out, ins[0])
 }
 func (o *DeviceCopyOp) GPUFriendly() bool { return true }
+
+// CastOp converts its input to the target storage dtype, inserted by
+// QuantizeGraph at precision boundaries. Functionally near-identity:
+// narrowing to fp16 rounds each element to nearest-even; narrowing to int8
+// quantizes symmetrically under Scale (set from calibration). Widening is
+// exact.
+type CastOp struct {
+	To    tensor.DType
+	Scale float32 // Int8 target's dequantization scale
+}
+
+func (o *CastOp) Kind() string                               { return "cast" }
+func (o *CastOp) InferShape(ins []tensor.Shape) tensor.Shape { return ins[0].Clone() }
+func (o *CastOp) Execute(ins []*tensor.Tensor) *tensor.Tensor {
+	out := tensor.NewTyped(o.To, ins[0].Shape()...)
+	if o.To == tensor.Int8 {
+		out.SetScale(o.Scale)
+	}
+	tensor.Copy(out, ins[0])
+	return out
+}
+func (o *CastOp) ExecuteInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	if out.DType() == tensor.Int8 {
+		out.SetScale(o.Scale)
+	}
+	tensor.Copy(out, ins[0])
+}
+func (o *CastOp) GPUFriendly() bool { return true }

@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"testing"
+
+	"unigpu/internal/ops"
+	"unigpu/internal/tensor"
+)
+
+func quantWorkload(cin, cout int) ops.ConvWorkload {
+	return ops.ConvWorkload{N: 1, CIn: cin, COut: cout, H: 8, W: 8, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+}
+
+func quantWeight(seed int64, cout, cin int) *tensor.Tensor {
+	w := tensor.New(cout, cin, 3, 3)
+	w.FillRandom(seed)
+	return w
+}
+
+// buildQuantGraph: conv -> relu -> conv -> global pool -> flatten ->
+// dense -> softmax, the classification tail every zoo model ends with.
+func buildQuantGraph() *Graph {
+	g := New()
+	in := g.Input("data", 1, 4, 8, 8)
+	c1 := g.Apply("c1", &ConvOp{W: quantWorkload(4, 8)}, in, g.Constant("w1", quantWeight(1, 8, 4)))
+	r1 := g.Apply("r1", &ActivationOp{Act: ops.ActReLU}, c1)
+	c2 := g.Apply("c2", &ConvOp{W: quantWorkload(8, 8)}, r1, g.Constant("w2", quantWeight(2, 8, 8)))
+	gp := g.Apply("gp", &GlobalPoolOp{}, c2)
+	fl := g.Apply("fl", &FlattenOp{}, gp)
+	dw := tensor.New(10, 8)
+	dw.FillRandom(3)
+	d := g.Apply("fc", &DenseOp{}, fl, g.Constant("fcw", dw))
+	sm := g.Apply("sm", &SoftmaxOp{}, d)
+	g.SetOutputs(sm)
+	return g
+}
+
+// TestQuantizeOffNoOp: QuantOff must leave the graph untouched — same
+// node count, every node full precision, zero stats.
+func TestQuantizeOffNoOp(t *testing.T) {
+	g := buildQuantGraph()
+	nodes := len(g.Nodes)
+	st, err := QuantizeGraph(g, QuantizeOptions{Mode: QuantOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (QuantizeStats{}) {
+		t.Fatalf("QuantOff produced stats %+v", st)
+	}
+	if len(g.Nodes) != nodes {
+		t.Fatalf("QuantOff changed node count %d -> %d", nodes, len(g.Nodes))
+	}
+	for _, n := range g.Nodes {
+		if n.StorageDType() != tensor.Float32 {
+			t.Fatalf("node %s dtype %v after QuantOff", n.Name, n.StorageDType())
+		}
+	}
+}
+
+// TestQuantizeFP16Legality: after fp16 lowering every conv's data input
+// matches its compute dtype exactly, graph outputs stay float32, the
+// fp32-only dense/softmax tail sees float32, and the conv fed by an
+// fp16 carrier needs no explicit cast (it fused into the producer).
+func TestQuantizeFP16Legality(t *testing.T) {
+	g := buildQuantGraph()
+	st, err := QuantizeGraph(g, QuantizeOptions{Mode: QuantFP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range g.Outputs {
+		if o.StorageDType() != tensor.Float32 {
+			t.Fatalf("output %s dtype %v, want float32", o.Name, o.StorageDType())
+		}
+	}
+	for _, n := range g.OpNodes() {
+		kind := n.Op.Kind()
+		if convOp, ok := opAs[*ConvOp](n); ok {
+			if got := n.Inputs[0].StorageDType(); got != convOp.DType {
+				t.Fatalf("conv %s arg0 dtype %v, compute dtype %v", n.Name, got, convOp.DType)
+			}
+		}
+		if fp32OnlyKinds[kind] && kind != "device_copy" && kind != "cast" {
+			for _, in := range n.Inputs {
+				// Weight constants may ride fp16 (the kernels widen them
+				// on load); only activations must arrive full precision.
+				if in.IsConstant() {
+					continue
+				}
+				if in.StorageDType() != tensor.Float32 {
+					t.Fatalf("fp32-only %s %s sees %v input %s", kind, n.Name, in.StorageDType(), in.Name)
+				}
+			}
+		}
+	}
+	if st.FP16Convs != 2 {
+		t.Fatalf("FP16Convs = %d, want 2", st.FP16Convs)
+	}
+	// c2 reads the retagged relu carrier: its cast fused into the store.
+	if st.CastsFused != 1 {
+		t.Fatalf("CastsFused = %d, want 1", st.CastsFused)
+	}
+	// c1 reads the fp32 graph input, and dense reads the fp16 flatten
+	// carrier: both need explicit casts.
+	if st.CastsInserted != 2 {
+		t.Fatalf("CastsInserted = %d, want 2", st.CastsInserted)
+	}
+	// The dense weight constant (single consumer) rides binary16.
+	for _, n := range g.OpNodes() {
+		if n.Op.Kind() == "dense" {
+			if got := n.Inputs[1].StorageDType(); got != tensor.Float16 {
+				t.Fatalf("dense weight dtype %v, want float16", got)
+			}
+		}
+	}
+}
+
+// TestQuantizeINT8CastDedup: two convs consuming the same tensor share
+// one int8 cast, and its calibrated scale is positive.
+func TestQuantizeINT8CastDedup(t *testing.T) {
+	g := New()
+	in := g.Input("data", 1, 4, 8, 8)
+	r := g.Apply("r", &ActivationOp{Act: ops.ActReLU}, in)
+	ca := g.Apply("ca", &ConvOp{W: quantWorkload(4, 8)}, r, g.Constant("wa", quantWeight(4, 8, 4)))
+	cb := g.Apply("cb", &ConvOp{W: quantWorkload(4, 8)}, r, g.Constant("wb", quantWeight(5, 8, 4)))
+	g.SetOutputs(ca, cb)
+
+	st, err := QuantizeGraph(g, QuantizeOptions{Mode: QuantINT8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.INT8Convs != 2 {
+		t.Fatalf("INT8Convs = %d, want 2", st.INT8Convs)
+	}
+	if st.CastsInserted != 1 {
+		t.Fatalf("shared tensor got %d casts, want 1 (deduplicated)", st.CastsInserted)
+	}
+	if ca.Inputs[0] != cb.Inputs[0] {
+		t.Fatal("convs do not share the deduplicated cast node")
+	}
+	cast := ca.Inputs[0]
+	castOp := opMust[*CastOp](t, cast)
+	if castOp.To != tensor.Int8 {
+		t.Fatalf("cast target %v, want int8", castOp.To)
+	}
+	if castOp.Scale <= 0 || cast.QScale != castOp.Scale {
+		t.Fatalf("calibrated scale %g (node %g), want positive and consistent",
+			castOp.Scale, cast.QScale)
+	}
+}
+
+// TestQuantizeNoCastAcrossDeviceCopy: quantizing an already-placed graph
+// must put every cast on the consumer side of a copy — no cast node may
+// feed a device_copy, and a cast always shares its consumers' device.
+func TestQuantizeNoCastAcrossDeviceCopy(t *testing.T) {
+	g := New()
+	in := g.Input("data", 1, 4, 8, 8)
+	c1 := g.Apply("c1", &ConvOp{W: quantWorkload(4, 8)}, in, g.Constant("w1", quantWeight(6, 8, 4)))
+	sg := g.Apply("sg", &SigmoidOp{}, c1)
+	c2 := g.Apply("c2", &ConvOp{W: quantWorkload(8, 8)}, sg, g.Constant("w2", quantWeight(7, 8, 8)))
+	g.SetOutputs(c2)
+
+	copies := PlaceDevices(g, PlacementOptions{FallbackKinds: map[string]bool{"sigmoid": true}})
+	if copies == 0 {
+		t.Fatal("placement inserted no device copies; test graph is wrong")
+	}
+	if _, err := QuantizeGraph(g, QuantizeOptions{Mode: QuantINT8}); err != nil {
+		t.Fatal(err)
+	}
+
+	casts := 0
+	cons := g.Consumers()
+	for _, n := range g.OpNodes() {
+		if n.Op.Kind() != "cast" {
+			continue
+		}
+		casts++
+		for _, c := range cons[n] {
+			if c.Op != nil && c.Op.Kind() == "device_copy" {
+				t.Fatalf("cast %s feeds device_copy %s: cast crossed the bus", n.Name, c.Name)
+			}
+			if c.Device != n.Device {
+				t.Fatalf("cast %s on %v but consumer %s on %v", n.Name, n.Device, c.Name, c.Device)
+			}
+		}
+	}
+	if casts == 0 {
+		t.Fatal("int8 lowering of a placed graph inserted no casts")
+	}
+}
+
+// TestQuantizeCalibrationDeterministic: identical graphs quantized with
+// identical options calibrate to identical int8 scales.
+func TestQuantizeCalibrationDeterministic(t *testing.T) {
+	scales := func() map[string]float32 {
+		g := buildQuantGraph()
+		if _, err := QuantizeGraph(g, QuantizeOptions{Mode: QuantINT8, CalibBatches: 3}); err != nil {
+			t.Fatal(err)
+		}
+		m := map[string]float32{}
+		for _, n := range g.OpNodes() {
+			if op, ok := opAs[*CastOp](n); ok && op.To == tensor.Int8 {
+				m[n.Name] = op.Scale
+			}
+		}
+		return m
+	}
+	a, b := scales(), scales()
+	if len(a) == 0 {
+		t.Fatal("no int8 casts to compare")
+	}
+	for name, s := range a {
+		if b[name] != s {
+			t.Fatalf("cast %s scale %g vs %g across identical runs", name, s, b[name])
+		}
+	}
+}
+
+// TestQuantizeAutoDefaultsToFP16: with no device model, auto mode has no
+// roofline to consult and must fall back to the safe fp16 assignment.
+func TestQuantizeAutoDefaultsToFP16(t *testing.T) {
+	g := buildQuantGraph()
+	st, err := QuantizeGraph(g, QuantizeOptions{Mode: QuantAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FP16Convs != 2 || st.INT8Convs != 0 {
+		t.Fatalf("auto without device: fp16=%d int8=%d, want 2/0", st.FP16Convs, st.INT8Convs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"unigpu/internal/autotvm"
 	"unigpu/internal/ops"
 	"unigpu/internal/sim"
+	"unigpu/internal/tensor"
 )
 
 // KernelSelection configures the conv algorithm-selection pass.
@@ -22,14 +23,20 @@ type KernelSelection struct {
 	AllowWinograd bool
 }
 
-// candidateKernels returns the kernels the selector may choose for w.
-func (sel KernelSelection) candidateKernels(w ops.ConvWorkload) []ops.ConvKernel {
+// candidateKernels returns the kernels the selector may choose for w at
+// storage dtype dt. Winograd has no reduced-precision variant (its
+// transform reassociation compounds badly with narrowed storage); int8
+// always computes through the quantized GEMM path.
+func (sel KernelSelection) candidateKernels(w ops.ConvWorkload, dt tensor.DType) []ops.ConvKernel {
+	if dt == tensor.Int8 {
+		return []ops.ConvKernel{ops.KernelGEMM}
+	}
 	cands := make([]ops.ConvKernel, 0, 4)
 	for _, k := range ops.ConvKernels {
 		if !ops.KernelSupported(k, w) {
 			continue
 		}
-		if k == ops.KernelWinograd && !sel.AllowWinograd {
+		if k == ops.KernelWinograd && (!sel.AllowWinograd || dt != tensor.Float32) {
 			continue
 		}
 		cands = append(cands, k)
@@ -37,29 +44,49 @@ func (sel KernelSelection) candidateKernels(w ops.ConvWorkload) []ops.ConvKernel
 	return cands
 }
 
-// pick returns the chosen kernel for w plus its estimated milliseconds
-// (NaN-free; 0 when no cost model is configured).
-func (sel KernelSelection) pick(w ops.ConvWorkload) (ops.ConvKernel, float64) {
+// dbDType maps a storage dtype to its tuning-record key segment ("" for
+// fp32, keeping pre-mixed-precision databases resolvable).
+func dbDType(dt tensor.DType) string {
+	if dt == tensor.Float32 {
+		return ""
+	}
+	return dt.String()
+}
+
+// pick returns the chosen kernel for w at storage dtype dt plus its
+// estimated milliseconds (NaN-free; 0 when no cost model is configured).
+func (sel KernelSelection) pick(w ops.ConvWorkload, dt tensor.DType) (ops.ConvKernel, float64) {
 	if sel.DB != nil && sel.Device != nil {
-		if name, ok := sel.DB.LookupKernelChoice(sel.Device.Name, w.Key()); ok {
+		if name, ok := sel.DB.LookupKernelChoiceDType(sel.Device.Name, w.Key(), dbDType(dt)); ok {
 			if k, ok := ops.ParseConvKernel(name); ok && k != ops.KernelAuto &&
-				ops.KernelSupported(k, w) && (k != ops.KernelWinograd || sel.AllowWinograd) {
+				ops.KernelSupported(k, w) &&
+				(k != ops.KernelWinograd || (sel.AllowWinograd && dt == tensor.Float32)) &&
+				(dt != tensor.Int8 || k == ops.KernelGEMM) {
 				return k, 0
 			}
 		}
 	}
 	if sel.Device == nil {
+		if dt == tensor.Int8 {
+			return ops.KernelGEMM, 0
+		}
 		return ops.DefaultKernel(w), 0
 	}
 	best, bestSec := ops.KernelDirect, 0.0
-	for i, k := range sel.candidateKernels(w) {
-		flops, bytes, eff := ops.KernelProfile(w, k)
-		sec := sel.Device.AlgoSeconds(flops, bytes, eff)
+	for i, k := range sel.candidateKernels(w, dt) {
+		sec := sel.Device.AlgoSeconds(kernelCost(w, k, dt))
 		if i == 0 || sec < bestSec {
 			best, bestSec = k, sec
 		}
 	}
 	return best, bestSec * 1e3
+}
+
+// kernelCost adapts ops.KernelProfile to AlgoSeconds' argument list for a
+// given storage dtype.
+func kernelCost(w ops.ConvWorkload, k ops.ConvKernel, dt tensor.DType) (flops, elems, elemBytes, eff float64) {
+	flops, elems, eff = ops.KernelProfile(w, k)
+	return flops, elems, float64(dt.Size()), eff
 }
 
 // SelectConvKernels assigns a concrete algorithm to every convolution in
@@ -75,15 +102,16 @@ func SelectConvKernels(g *Graph, sel KernelSelection) map[ops.ConvKernel]int {
 		if !ok {
 			continue
 		}
-		k, ms := sel.pick(convOp.W)
+		k, ms := sel.pick(convOp.W, convOp.DType)
 		convOp.Kernel = k
 		counts[k]++
 		if sel.DB != nil && sel.Device != nil {
 			// Record cost-model decisions, but never clobber an existing
 			// kernel record — it may be a pinned choice this pass merely
 			// gated out (e.g. a winograd record with AllowWinograd off).
-			if _, exists := sel.DB.LookupKernelChoice(sel.Device.Name, convOp.W.Key()); !exists {
-				sel.DB.StoreKernelChoice(sel.Device.Name, convOp.W.Key(), k.String(), ms)
+			dtype := dbDType(convOp.DType)
+			if _, exists := sel.DB.LookupKernelChoiceDType(sel.Device.Name, convOp.W.Key(), dtype); !exists {
+				sel.DB.StoreKernelChoiceDType(sel.Device.Name, convOp.W.Key(), dtype, k.String(), ms)
 			}
 		}
 	}

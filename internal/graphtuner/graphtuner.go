@@ -124,8 +124,7 @@ func TransformMs(w ops.ConvWorkload, fromBlock, toBlock int, d *sim.Device) floa
 		return 0
 	}
 	elems := float64(w.N * w.CIn * w.H * w.W)
-	bytes := 2 * 4 * elems // read + write
-	return sim.CostFlopsBytes(d, 0, bytes, 1) * 1e3
+	return sim.CostFlopsBytes(d, 0, 2*elems /* read + write */, 4, 1) * 1e3
 }
 
 // Plan is the tuner's decision for a conv sequence.

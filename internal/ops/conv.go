@@ -177,11 +177,25 @@ func DenseActInto(out, in, weight, bias *tensor.Tensor, act Activation) {
 	n := in.Shape()[0]
 	k := in.Shape()[1]
 	o := weight.Shape()[0]
-	ind, wd, od := in.Data(), weight.Data(), out.Data()
 	var bd []float32
 	if bias != nil {
 		bd = bias.Data()
 	}
+	if !allFloat32(out, in, weight) {
+		parallelFor(n*o, func(job int) {
+			ni, oi := job/o, job%o
+			var sum float32
+			if bd != nil {
+				sum = bd[oi]
+			}
+			for i := 0; i < k; i++ {
+				sum += in.GetF(ni*k+i) * weight.GetF(oi*k+i)
+			}
+			out.SetF(ni*o+oi, applyActivation(sum, act))
+		})
+		return
+	}
+	ind, wd, od := in.Data(), weight.Data(), out.Data()
 	parallelFor(n*o, func(job int) {
 		ni, oi := job/o, job%o
 		var sum float32

@@ -53,6 +53,27 @@ func BenchmarkConvKernels(b *testing.B) {
 			})
 		}
 
+		// Per-dtype rows: the same workload over fp16 and int8 storage
+		// (fp32 accumulation), input conversion and weight packing outside
+		// the timed loop as the runtime runs them. Winograd is fp32-only,
+		// int8 is GEMM-only, so each dtype benches its selected kernel.
+		for _, dt := range []tensor.DType{tensor.Float16, tensor.Int8} {
+			p := PrepareConvDType(w, KernelAuto, weight, dt)
+			scratch := make([]float32, p.ScratchElems())
+			var scratch8 []int8
+			if p.ScratchDType() == tensor.Int8 {
+				scratch8 = make([]int8, p.ScratchElems())
+			}
+			tin := tensor.Convert(in, dt, 0)
+			tout := tensor.NewTyped(tensor.Float16, w.N, w.COut, w.OutH(), w.OutW())
+			b.Run(tc.name+"/"+p.Kernel().String()+"@"+dt.String(), func(b *testing.B) {
+				b.ReportMetric(w.FLOPs(), "flops")
+				for i := 0; i < b.N; i++ {
+					p.RunIntoEpilogue(tout, tin, bias, nil, scratch, scratch8, false)
+				}
+			})
+		}
+
 		// The blocked-NCHW[x]c packed kernel needs converted operands;
 		// conversion happens outside the timed loop (it is a plan-time
 		// layout decision, like GEMM prepacking).

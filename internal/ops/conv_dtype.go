@@ -1,0 +1,537 @@
+package ops
+
+import "unigpu/internal/tensor"
+
+// Reduced-precision convolution backends. All of them follow the
+// accumulate-in-fp32 discipline: fp16 kernels read binary16 storage, widen
+// each operand on load, accumulate the reduction in float32, and narrow
+// once at the epilogue store; the int8 GEMM accumulates in int32 and
+// dequantizes with per-output-channel weight scales at write-out. The
+// fused epilogue (bias, residual, activation) is applied in the exact same
+// per-element order as the fp32 kernels, so the only error sources are the
+// storage narrowings themselves — which is what the per-dtype tolerance
+// harness budgets.
+
+// convEpilogueT is convEpilogue with a dtype-tagged residual operand: the
+// residual of a quantized conv usually lives in fp16 storage, so it is
+// read through the widening accessor.
+func convEpilogueT(v float32, res *tensor.Tensor, oi int, a Activation, postAct bool) float32 {
+	if res != nil && !postAct {
+		v += res.GetF(oi)
+	}
+	v = applyActivation(v, a)
+	if res != nil && postAct {
+		v += res.GetF(oi)
+	}
+	return v
+}
+
+// EncodeF16Slice converts a float32 slice to binary16 bits.
+func EncodeF16Slice(src []float32) []uint16 {
+	dst := make([]uint16, len(src))
+	for i, v := range src {
+		dst[i] = tensor.F16Encode(v)
+	}
+	return dst
+}
+
+// conv2DDirectF16Into is the boundary-hoisted direct loop over fp16
+// storage: fp16 input and weights, fp32 accumulation, dtype-aware store.
+func conv2DDirectF16Into(out, in *tensor.Tensor, w16 []uint16, bias, res *tensor.Tensor, w ConvWorkload, postAct bool) {
+	oh, ow := w.OutH(), w.OutW()
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+
+	ind := in.Half()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	parallelFor(w.N*w.COut, func(job int) {
+		n := job / w.COut
+		co := job % w.COut
+		grp := co / coutPerG
+		ciBase := grp * cinPerG
+		var b float32
+		if bd != nil {
+			b = bd[co]
+		}
+		for y := 0; y < oh; y++ {
+			iy0 := y*w.StrideH - w.PadH
+			ky0, ky1 := clampKernelRange(iy0, w.H, w.KH)
+			for x := 0; x < ow; x++ {
+				ix0 := x*w.StrideW - w.PadW
+				kx0, kx1 := clampKernelRange(ix0, w.W, w.KW)
+				sum := b
+				for ci := 0; ci < cinPerG; ci++ {
+					wBase := ((co * cinPerG) + ci) * w.KH * w.KW
+					iBase := (n*w.CIn+ciBase+ci)*w.H*w.W + ix0
+					for ky := ky0; ky < ky1; ky++ {
+						iRow := iBase + (iy0+ky)*w.W
+						wRow := wBase + ky*w.KW
+						for kx := kx0; kx < kx1; kx++ {
+							sum += tensor.F16Decode(ind[iRow+kx]) * tensor.F16Decode(w16[wRow+kx])
+						}
+					}
+				}
+				oi := ((n*w.COut+co)*oh+y)*ow + x
+				out.SetF(oi, convEpilogueT(sum, res, oi, w.FusedActivation, postAct))
+			}
+		}
+	})
+}
+
+// conv2DDepthwiseF16Into is the depthwise specialization over fp16 storage.
+func conv2DDepthwiseF16Into(out, in *tensor.Tensor, w16 []uint16, bias, res *tensor.Tensor, w ConvWorkload, postAct bool) {
+	oh, ow := w.OutH(), w.OutW()
+	ind := in.Half()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	parallelFor(w.N*w.COut, func(job int) {
+		n := job / w.COut
+		c := job % w.COut
+		var b float32
+		if bd != nil {
+			b = bd[c]
+		}
+		wBase := c * w.KH * w.KW
+		iPlane := (n*w.CIn + c) * w.H * w.W
+		for y := 0; y < oh; y++ {
+			iy0 := y*w.StrideH - w.PadH
+			ky0, ky1 := clampKernelRange(iy0, w.H, w.KH)
+			for x := 0; x < ow; x++ {
+				ix0 := x*w.StrideW - w.PadW
+				kx0, kx1 := clampKernelRange(ix0, w.W, w.KW)
+				sum := b
+				iBase := iPlane + ix0
+				for ky := ky0; ky < ky1; ky++ {
+					iRow := iBase + (iy0+ky)*w.W
+					wRow := wBase + ky*w.KW
+					for kx := kx0; kx < kx1; kx++ {
+						sum += tensor.F16Decode(ind[iRow+kx]) * tensor.F16Decode(w16[wRow+kx])
+					}
+				}
+				oi := ((n*w.COut+c)*oh+y)*ow + x
+				out.SetF(oi, convEpilogueT(sum, res, oi, w.FusedActivation, postAct))
+			}
+		}
+	})
+}
+
+// PackConvWeightsGEMMF16 packs OIHW conv weights into the GEMM row-panel
+// layout in binary16 storage — the same panel geometry as the fp32 packer,
+// at half the bytes. The microkernel widens each A lane on load.
+func PackConvWeightsGEMMF16(weight *tensor.Tensor, w ConvWorkload) []uint16 {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	mPad := roundUp(coutPerG, gemmMR)
+
+	wd := weight.Data()
+	packed := make([]uint16, g*mPad*k)
+	for grp := 0; grp < g; grp++ {
+		gBase := grp * mPad * k
+		for i := 0; i < mPad; i++ {
+			panel := i / gemmMR
+			lane := i % gemmMR
+			if i >= coutPerG {
+				continue // zero-padded tail row (binary16 zero is 0x0000)
+			}
+			co := grp*coutPerG + i
+			wBase := co * k
+			pBase := gBase + panel*k*gemmMR + lane
+			for kk := 0; kk < k; kk++ {
+				packed[pBase+kk*gemmMR] = tensor.F16Encode(wd[wBase+kk])
+			}
+		}
+	}
+	return packed
+}
+
+// im2colPackedF16 fills bp with packed-B im2col panels decoded from an
+// fp16 input plane — the fp16→fp32 cast is fused into the packing pass, so
+// no separate cast kernel (or buffer) exists on the GEMM path.
+func im2colPackedF16(bp []float32, ind []uint16, w ConvWorkload, n, grp int) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	oh, ow := w.OutH(), w.OutW()
+	nCols := oh * ow
+	k := cinPerG * w.KH * w.KW
+	nPanels := (nCols + gemmNR - 1) / gemmNR
+	ciBase := grp * cinPerG
+
+	parallelFor(nPanels, func(p int) {
+		pBase := p * k * gemmNR
+		for j := 0; j < gemmNR; j++ {
+			col := p*gemmNR + j
+			if col >= nCols {
+				for kk := 0; kk < k; kk++ {
+					bp[pBase+kk*gemmNR+j] = 0
+				}
+				continue
+			}
+			y := col / ow
+			x := col % ow
+			iy0 := y*w.StrideH - w.PadH
+			ix0 := x*w.StrideW - w.PadW
+			dst := pBase + j
+			for ci := 0; ci < cinPerG; ci++ {
+				iPlane := (n*w.CIn+ciBase+ci)*w.H*w.W + ix0
+				for ky := 0; ky < w.KH; ky++ {
+					iy := iy0 + ky
+					rowOK := iy >= 0 && iy < w.H
+					iRow := iPlane + iy*w.W
+					for kx := 0; kx < w.KW; kx++ {
+						var v float32
+						if rowOK {
+							if ix := ix0 + kx; ix >= 0 && ix < w.W {
+								v = tensor.F16Decode(ind[iRow+kx])
+							}
+						}
+						bp[dst] = v
+						dst += gemmNR
+					}
+				}
+			}
+		}
+	})
+}
+
+// conv2DGEMMF16Into runs the im2col-GEMM convolution over fp16 storage:
+// packedA16 from PackConvWeightsGEMMF16, input decoded into fp32 scratch
+// panels during packing, fp32 accumulation, dtype-aware store.
+func conv2DGEMMF16Into(out, in, bias, res *tensor.Tensor, w ConvWorkload, packedA16 []uint16, scratch []float32, postAct bool) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	oh, ow := w.OutH(), w.OutW()
+	nCols := oh * ow
+	mPad := roundUp(coutPerG, gemmMR)
+
+	if need := GEMMScratchElems(w); len(scratch) < need {
+		scratch = make([]float32, need)
+	}
+	ind := in.Half()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	mBlocks := (coutPerG + gemmMC - 1) / gemmMC
+	nBlocks := (nCols + gemmNC - 1) / gemmNC
+
+	for n := 0; n < w.N; n++ {
+		for grp := 0; grp < g; grp++ {
+			im2colPackedF16(scratch, ind, w, n, grp)
+			pa := packedA16[grp*mPad*k : (grp+1)*mPad*k]
+			outBase := (n*w.COut + grp*coutPerG) * nCols
+			parallelFor(mBlocks*nBlocks, func(job int) {
+				mb := job / nBlocks
+				nb := job % nBlocks
+				i0, i1 := mb*gemmMC, min((mb+1)*gemmMC, coutPerG)
+				j0, j1 := nb*gemmNC, min((nb+1)*gemmNC, nCols)
+				for i := i0; i < i1; i += gemmMR {
+					for j := j0; j < j1; j += gemmNR {
+						gemmMicroF16(out, res, pa, scratch, bd, w, grp, coutPerG, k, nCols, outBase, i, j, postAct)
+					}
+				}
+			})
+		}
+	}
+}
+
+// gemmMicroF16 computes one gemmMR x gemmNR tile with fp32 accumulators,
+// decoding the fp16 A lanes on load (B panels were decoded at pack time).
+func gemmMicroF16(out, res *tensor.Tensor, pa []uint16, pb, bd []float32, w ConvWorkload, grp, coutPerG, k, nCols, outBase, i0, j0 int, postAct bool) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	if bd != nil {
+		coBase := grp*coutPerG + i0
+		b0 := bd[coBase]
+		b1, b2, b3 := b0, b0, b0
+		if i0+1 < coutPerG {
+			b1 = bd[coBase+1]
+		}
+		if i0+2 < coutPerG {
+			b2 = bd[coBase+2]
+		}
+		if i0+3 < coutPerG {
+			b3 = bd[coBase+3]
+		}
+		c00, c01, c02, c03 = b0, b0, b0, b0
+		c10, c11, c12, c13 = b1, b1, b1, b1
+		c20, c21, c22, c23 = b2, b2, b2, b2
+		c30, c31, c32, c33 = b3, b3, b3, b3
+	}
+
+	ap := pa[(i0/gemmMR)*k*gemmMR:]
+	bp := pb[(j0/gemmNR)*k*gemmNR:]
+	for kk := 0; kk < k; kk++ {
+		a := ap[kk*gemmMR : kk*gemmMR+gemmMR]
+		b := bp[kk*gemmNR : kk*gemmNR+gemmNR]
+		a0 := tensor.F16Decode(a[0])
+		a1 := tensor.F16Decode(a[1])
+		a2 := tensor.F16Decode(a[2])
+		a3 := tensor.F16Decode(a[3])
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+
+	mv := coutPerG - i0
+	nv := nCols - j0
+	act := w.FusedActivation
+	writeGemmRowT(out, res, outBase+(i0+0)*nCols+j0, nv, act, postAct, c00, c01, c02, c03)
+	if mv > 1 {
+		writeGemmRowT(out, res, outBase+(i0+1)*nCols+j0, nv, act, postAct, c10, c11, c12, c13)
+	}
+	if mv > 2 {
+		writeGemmRowT(out, res, outBase+(i0+2)*nCols+j0, nv, act, postAct, c20, c21, c22, c23)
+	}
+	if mv > 3 {
+		writeGemmRowT(out, res, outBase+(i0+3)*nCols+j0, nv, act, postAct, c30, c31, c32, c33)
+	}
+}
+
+// writeGemmRowT is writeGemmRow with dtype-aware stores and a dtype-tagged
+// residual operand.
+func writeGemmRowT(out, res *tensor.Tensor, base, nv int, act Activation, postAct bool, v0, v1, v2, v3 float32) {
+	out.SetF(base, convEpilogueT(v0, res, base, act, postAct))
+	if nv > 1 {
+		out.SetF(base+1, convEpilogueT(v1, res, base+1, act, postAct))
+	}
+	if nv > 2 {
+		out.SetF(base+2, convEpilogueT(v2, res, base+2, act, postAct))
+	}
+	if nv > 3 {
+		out.SetF(base+3, convEpilogueT(v3, res, base+3, act, postAct))
+	}
+}
+
+// PackConvWeightsInt8 packs OIHW conv weights into the GEMM row-panel
+// layout quantized to int8 with symmetric per-output-channel scales:
+// scales[co] maps channel co's codes back to weight values. Padded tail
+// rows are zero with scale 1.
+func PackConvWeightsInt8(weight *tensor.Tensor, w ConvWorkload) (packed []int8, scales []float32) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	mPad := roundUp(coutPerG, gemmMR)
+
+	wd := weight.Data()
+	scales = make([]float32, w.COut)
+	for co := 0; co < w.COut; co++ {
+		maxAbs := 0.0
+		for kk := 0; kk < k; kk++ {
+			v := float64(wd[co*k+kk])
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		scales[co] = tensor.Int8Scale(maxAbs)
+	}
+
+	packed = make([]int8, g*mPad*k)
+	for grp := 0; grp < g; grp++ {
+		gBase := grp * mPad * k
+		for i := 0; i < mPad; i++ {
+			panel := i / gemmMR
+			lane := i % gemmMR
+			if i >= coutPerG {
+				continue // zero tail row
+			}
+			co := grp*coutPerG + i
+			wBase := co * k
+			pBase := gBase + panel*k*gemmMR + lane
+			s := scales[co]
+			for kk := 0; kk < k; kk++ {
+				packed[pBase+kk*gemmMR] = tensor.QuantizeInt8(wd[wBase+kk], s)
+			}
+		}
+	}
+	return packed, scales
+}
+
+// im2colPackedInt8 fills bp with packed-B im2col panels of int8 codes read
+// straight from the quantized input plane (zero-padding taps are exact:
+// the int8 code 0 dequantizes to 0 under any scale).
+func im2colPackedInt8(bp []int8, ind []int8, w ConvWorkload, n, grp int) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	oh, ow := w.OutH(), w.OutW()
+	nCols := oh * ow
+	k := cinPerG * w.KH * w.KW
+	nPanels := (nCols + gemmNR - 1) / gemmNR
+	ciBase := grp * cinPerG
+
+	parallelFor(nPanels, func(p int) {
+		pBase := p * k * gemmNR
+		for j := 0; j < gemmNR; j++ {
+			col := p*gemmNR + j
+			if col >= nCols {
+				for kk := 0; kk < k; kk++ {
+					bp[pBase+kk*gemmNR+j] = 0
+				}
+				continue
+			}
+			y := col / ow
+			x := col % ow
+			iy0 := y*w.StrideH - w.PadH
+			ix0 := x*w.StrideW - w.PadW
+			dst := pBase + j
+			for ci := 0; ci < cinPerG; ci++ {
+				iPlane := (n*w.CIn+ciBase+ci)*w.H*w.W + ix0
+				for ky := 0; ky < w.KH; ky++ {
+					iy := iy0 + ky
+					rowOK := iy >= 0 && iy < w.H
+					iRow := iPlane + iy*w.W
+					for kx := 0; kx < w.KW; kx++ {
+						var v int8
+						if rowOK {
+							if ix := ix0 + kx; ix >= 0 && ix < w.W {
+								v = ind[iRow+kx]
+							}
+						}
+						bp[dst] = v
+						dst += gemmNR
+					}
+				}
+			}
+		}
+	})
+}
+
+// conv2DGEMMInt8Into runs the quantized im2col-GEMM convolution: int8
+// input codes (per-tensor scale, from calibration) against int8 weight
+// panels (per-output-channel scales), int32 accumulation, dequantize +
+// bias + residual + activation at the epilogue. The dequantization
+// constant of row co is in.Scale() * wscales[co].
+func conv2DGEMMInt8Into(out, in, bias, res *tensor.Tensor, w ConvWorkload, packedA []int8, wscales []float32, scratch8 []int8, postAct bool) {
+	g := max(1, w.Groups)
+	cinPerG := w.CIn / g
+	coutPerG := w.COut / g
+	k := cinPerG * w.KH * w.KW
+	oh, ow := w.OutH(), w.OutW()
+	nCols := oh * ow
+	mPad := roundUp(coutPerG, gemmMR)
+
+	if need := GEMMScratchElems(w); len(scratch8) < need {
+		scratch8 = make([]int8, need)
+	}
+	ind := in.Int8Data()
+	sIn := in.Scale()
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	mBlocks := (coutPerG + gemmMC - 1) / gemmMC
+	nBlocks := (nCols + gemmNC - 1) / gemmNC
+
+	for n := 0; n < w.N; n++ {
+		for grp := 0; grp < g; grp++ {
+			im2colPackedInt8(scratch8, ind, w, n, grp)
+			pa := packedA[grp*mPad*k : (grp+1)*mPad*k]
+			outBase := (n*w.COut + grp*coutPerG) * nCols
+			parallelFor(mBlocks*nBlocks, func(job int) {
+				mb := job / nBlocks
+				nb := job % nBlocks
+				i0, i1 := mb*gemmMC, min((mb+1)*gemmMC, coutPerG)
+				j0, j1 := nb*gemmNC, min((nb+1)*gemmNC, nCols)
+				for i := i0; i < i1; i += gemmMR {
+					for j := j0; j < j1; j += gemmNR {
+						gemmMicroInt8(out, res, pa, scratch8, bd, wscales, sIn, w, grp, coutPerG, k, nCols, outBase, i, j, postAct)
+					}
+				}
+			})
+		}
+	}
+}
+
+// gemmMicroInt8 computes one gemmMR x gemmNR tile in int32, then
+// dequantizes (row scale = sIn * wscales[co]), adds bias and applies the
+// fused epilogue at write-out.
+func gemmMicroInt8(out, res *tensor.Tensor, pa, pb []int8, bd, wscales []float32, sIn float32, w ConvWorkload, grp, coutPerG, k, nCols, outBase, i0, j0 int, postAct bool) {
+	var c00, c01, c02, c03 int32
+	var c10, c11, c12, c13 int32
+	var c20, c21, c22, c23 int32
+	var c30, c31, c32, c33 int32
+
+	ap := pa[(i0/gemmMR)*k*gemmMR:]
+	bp := pb[(j0/gemmNR)*k*gemmNR:]
+	for kk := 0; kk < k; kk++ {
+		a := ap[kk*gemmMR : kk*gemmMR+gemmMR]
+		b := bp[kk*gemmNR : kk*gemmNR+gemmNR]
+		a0, a1, a2, a3 := int32(a[0]), int32(a[1]), int32(a[2]), int32(a[3])
+		b0, b1, b2, b3 := int32(b[0]), int32(b[1]), int32(b[2]), int32(b[3])
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+
+	coBase := grp*coutPerG + i0
+	mv := coutPerG - i0
+	nv := nCols - j0
+	act := w.FusedActivation
+	row := func(r int, v0, v1, v2, v3 int32) {
+		co := coBase + r
+		s := sIn * wscales[co]
+		var b float32
+		if bd != nil {
+			b = bd[co]
+		}
+		base := outBase + (i0+r)*nCols + j0
+		writeGemmRowT(out, res, base, nv, act, postAct,
+			float32(v0)*s+b, float32(v1)*s+b, float32(v2)*s+b, float32(v3)*s+b)
+	}
+	row(0, c00, c01, c02, c03)
+	if mv > 1 {
+		row(1, c10, c11, c12, c13)
+	}
+	if mv > 2 {
+		row(2, c20, c21, c22, c23)
+	}
+	if mv > 3 {
+		row(3, c30, c31, c32, c33)
+	}
+}

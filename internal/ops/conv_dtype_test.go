@@ -1,0 +1,153 @@
+package ops
+
+import (
+	"math"
+	"testing"
+
+	"unigpu/internal/tensor"
+)
+
+// dtypeConvCases are the workload shapes the fp16/int8 kernels are
+// cross-checked on: pointwise, padded 3x3, strided, depthwise, grouped,
+// and the fused residual epilogue.
+func dtypeConvCases() []ConvWorkload {
+	return []ConvWorkload{
+		{N: 1, CIn: 8, COut: 12, H: 9, W: 9, KH: 1, KW: 1, StrideH: 1, StrideW: 1, HasBias: true},
+		{N: 2, CIn: 6, COut: 10, H: 8, W: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			HasBias: true, FusedActivation: ActReLU},
+		{N: 1, CIn: 5, COut: 7, H: 11, W: 7, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1,
+			HasBias: true, FusedActivation: ActLeakyReLU},
+		{N: 1, CIn: 8, COut: 8, H: 7, W: 7, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			Groups: 8, HasBias: true, FusedActivation: ActReLU},
+		{N: 1, CIn: 8, COut: 12, H: 6, W: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			Groups: 2, HasBias: true},
+		{N: 1, CIn: 4, COut: 6, H: 10, W: 10, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2,
+			HasBias: true},
+	}
+}
+
+// refMaxAbs is the normalization scale for relative-error checks.
+func refMaxAbs(t *tensor.Tensor) float64 {
+	m := 0.0
+	for i := 0; i < t.Size(); i++ {
+		if v := math.Abs(float64(t.GetF(i))); v > m {
+			m = v
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return m
+}
+
+// crossCheck runs the dtype kernel against the frozen fp32 reference and
+// fails when the normalized error exceeds tol.
+func crossCheck(t *testing.T, w ConvWorkload, dt tensor.DType, residual bool, tol float64) {
+	t.Helper()
+	in, weight, bias := convInputs(w, 31)
+	var res *tensor.Tensor
+	if residual {
+		res = randT(37, w.N, w.COut, w.OutH(), w.OutW())
+	}
+
+	// fp32 reference through the same prepared-kernel entry point.
+	ref := tensor.New(w.N, w.COut, w.OutH(), w.OutW())
+	pref := PrepareConvDType(w, KernelAuto, weight, tensor.Float32)
+	pref.RunIntoEpilogue(ref, in, bias, res, make([]float32, pref.ScratchElems()), nil, false)
+
+	p := PrepareConvDType(w, KernelAuto, weight, dt)
+	if p.DType() != dt {
+		t.Fatalf("prepared dtype %v, want %v", p.DType(), dt)
+	}
+	tin := tensor.Convert(in, dt, 0)
+	out := tensor.NewTyped(tensor.Float16, w.N, w.COut, w.OutH(), w.OutW())
+	var scratch8 []int8
+	if p.ScratchDType() == tensor.Int8 {
+		scratch8 = make([]int8, p.ScratchElems())
+	}
+	p.RunIntoEpilogue(out, tin, bias, res, make([]float32, p.ScratchElems()), scratch8, false)
+
+	scale := refMaxAbs(ref)
+	worst := 0.0
+	for i := 0; i < ref.Size(); i++ {
+		if d := math.Abs(float64(out.GetF(i)-ref.GetF(i))) / scale; d > worst {
+			worst = d
+		}
+	}
+	if worst > tol {
+		t.Errorf("%v %s residual=%v: max normalized error %.3e exceeds %.1e (kernel %s)",
+			w, dt, residual, worst, tol, p.Kernel())
+	}
+}
+
+// TestConvFP16CrossCheck: fp16-storage convolutions (fp32 accumulate)
+// must stay within half-precision rounding of the fp32 reference.
+func TestConvFP16CrossCheck(t *testing.T) {
+	for _, w := range dtypeConvCases() {
+		crossCheck(t, w, tensor.Float16, false, 1e-2)
+		crossCheck(t, w, tensor.Float16, true, 1e-2)
+	}
+}
+
+// TestConvInt8CrossCheck: symmetric int8 with per-channel weight scales
+// must stay within the coarser quantization budget.
+func TestConvInt8CrossCheck(t *testing.T) {
+	for _, w := range dtypeConvCases() {
+		crossCheck(t, w, tensor.Int8, false, 0.08)
+		crossCheck(t, w, tensor.Int8, true, 0.08)
+	}
+}
+
+// TestPackConvWeightsInt8Scales: every output channel's scale covers its
+// own max |w|, so no weight saturates when quantized with it.
+func TestPackConvWeightsInt8Scales(t *testing.T) {
+	w := ConvWorkload{N: 1, CIn: 6, COut: 9, H: 5, W: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	_, weight, _ := convInputs(w, 53)
+	_, scales := PackConvWeightsInt8(weight, w)
+	if len(scales) != w.COut {
+		t.Fatalf("got %d scales, want %d", len(scales), w.COut)
+	}
+	wd := weight.Data()
+	k := w.CIn * w.KH * w.KW
+	for co := 0; co < w.COut; co++ {
+		m := 0.0
+		for i := 0; i < k; i++ {
+			if v := math.Abs(float64(wd[co*k+i])); v > m {
+				m = v
+			}
+		}
+		if got, want := scales[co], tensor.Int8Scale(m); got != want {
+			t.Errorf("channel %d scale %g, want %g", co, got, want)
+		}
+	}
+}
+
+// TestElementwiseTypedPaths: the generic guard paths of the elementwise
+// kernels must agree with the fp32 fast paths within half rounding when
+// tensors ride fp16 carriers.
+func TestElementwiseTypedPaths(t *testing.T) {
+	a := randT(61, 2, 4, 5, 5)
+	b := randT(62, 2, 4, 5, 5)
+	ah := tensor.Convert(a, tensor.Float16, 0)
+	bh := tensor.Convert(b, tensor.Float16, 0)
+
+	want := tensor.New(2, 4, 5, 5)
+	AddInto(want, a, b)
+	got := tensor.NewTyped(tensor.Float16, 2, 4, 5, 5)
+	AddInto(got, ah, bh)
+	for i := 0; i < want.Size(); i++ {
+		if d := math.Abs(float64(got.GetF(i) - want.GetF(i))); d > 1e-2 {
+			t.Fatalf("AddInto fp16 elem %d: %g vs %g", i, got.GetF(i), want.GetF(i))
+		}
+	}
+
+	wantR := tensor.New(2, 4, 5, 5)
+	ReLUInto(wantR, a)
+	gotR := tensor.NewTyped(tensor.Float16, 2, 4, 5, 5)
+	ReLUInto(gotR, ah)
+	for i := 0; i < wantR.Size(); i++ {
+		if d := math.Abs(float64(gotR.GetF(i) - wantR.GetF(i))); d > 1e-2 {
+			t.Fatalf("ReLUInto fp16 elem %d: %g vs %g", i, gotR.GetF(i), wantR.GetF(i))
+		}
+	}
+}

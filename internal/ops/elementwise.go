@@ -11,6 +11,19 @@ import (
 // output tensor. The pooled graph runtime executes the Into forms against
 // arena-backed buffers so the steady-state run loop never allocates.
 
+// allFloat32 reports whether every tensor carries fp32 storage — the
+// precondition for the raw-slice fast paths below. Reduced-precision
+// operands take the dtype-aware loops instead (same arithmetic, widened
+// on load, narrowed on store).
+func allFloat32(ts ...*tensor.Tensor) bool {
+	for _, t := range ts {
+		if t != nil && t.DType() != tensor.Float32 {
+			return false
+		}
+	}
+	return true
+}
+
 // ReLU applies max(0, x) elementwise.
 func ReLU(in *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(in.Shape()...)
@@ -20,6 +33,17 @@ func ReLU(in *tensor.Tensor) *tensor.Tensor {
 
 // ReLUInto applies max(0, x) into out (which may alias in).
 func ReLUInto(out, in *tensor.Tensor) {
+	if !allFloat32(out, in) {
+		n := in.Size()
+		for i := 0; i < n; i++ {
+			v := in.GetF(i)
+			if v < 0 {
+				v = 0
+			}
+			out.SetF(i, v)
+		}
+		return
+	}
 	d, id := out.Data(), in.Data()
 	for i, v := range id {
 		if v < 0 {
@@ -39,6 +63,17 @@ func LeakyReLU(in *tensor.Tensor, alpha float32) *tensor.Tensor {
 
 // LeakyReLUInto applies the leaky rectifier into out.
 func LeakyReLUInto(out, in *tensor.Tensor, alpha float32) {
+	if !allFloat32(out, in) {
+		n := in.Size()
+		for i := 0; i < n; i++ {
+			v := in.GetF(i)
+			if v < 0 {
+				v = alpha * v
+			}
+			out.SetF(i, v)
+		}
+		return
+	}
 	d, id := out.Data(), in.Data()
 	for i, v := range id {
 		if v < 0 {
@@ -58,6 +93,13 @@ func Sigmoid(in *tensor.Tensor) *tensor.Tensor {
 
 // SigmoidInto applies the logistic function into out.
 func SigmoidInto(out, in *tensor.Tensor) {
+	if !allFloat32(out, in) {
+		n := in.Size()
+		for i := 0; i < n; i++ {
+			out.SetF(i, float32(1/(1+math.Exp(-float64(in.GetF(i))))))
+		}
+		return
+	}
 	d, id := out.Data(), in.Data()
 	for i, v := range id {
 		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
@@ -76,6 +118,13 @@ func Add(a, b *tensor.Tensor) *tensor.Tensor {
 func AddInto(out, a, b *tensor.Tensor) {
 	if !a.Shape().Equal(b.Shape()) {
 		panic("ops: Add shape mismatch " + a.Shape().String() + " vs " + b.Shape().String())
+	}
+	if !allFloat32(out, a, b) {
+		n := a.Size()
+		for i := 0; i < n; i++ {
+			out.SetF(i, a.GetF(i)+b.GetF(i))
+		}
+		return
 	}
 	d, ad, bd := out.Data(), a.Data(), b.Data()
 	for i := range d {
@@ -186,6 +235,22 @@ func ConcatInto(out *tensor.Tensor, ts ...*tensor.Tensor) {
 			panic("ops: Concat non-channel dims must match")
 		}
 	}
+	if !allFloat32(out) || !allFloat32(ts...) {
+		cOff := 0
+		for _, t := range ts {
+			c := t.Shape()[1]
+			chw := c * h * w
+			for ni := 0; ni < n; ni++ {
+				src := ni * chw
+				dst := (ni*totalC + cOff) * h * w
+				for i := 0; i < chw; i++ {
+					out.SetF(dst+i, t.GetF(src+i))
+				}
+			}
+			cOff += c
+		}
+		return
+	}
 	cOff := 0
 	od := out.Data()
 	for _, t := range ts {
@@ -212,6 +277,20 @@ func UpsampleNearest2x(in *tensor.Tensor) *tensor.Tensor {
 func UpsampleNearest2xInto(out, in *tensor.Tensor) {
 	s := in.Shape()
 	n, c, h, w := s[0], s[1], s[2], s[3]
+	if !allFloat32(out, in) {
+		for p := 0; p < n*c; p++ {
+			iBase := p * h * w
+			oBase := p * 4 * h * w
+			for y := 0; y < 2*h; y++ {
+				srcRow := iBase + (y/2)*w
+				dstRow := oBase + y*2*w
+				for x := 0; x < 2*w; x++ {
+					out.SetF(dstRow+x, in.GetF(srcRow+x/2))
+				}
+			}
+		}
+		return
+	}
 	od, id := out.Data(), in.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {

@@ -52,6 +52,10 @@ type ElementwiseStage struct {
 // bit-identical to the unfused chain. out may alias in; it must not alias
 // any extra.
 func FusedElementwiseInto(out, in *tensor.Tensor, extras []*tensor.Tensor, stages []ElementwiseStage) {
+	if !allFloat32(out, in) || !allFloat32(extras...) {
+		fusedElementwiseTypedInto(out, in, extras, stages)
+		return
+	}
 	od, id := out.Data(), in.Data()
 	// Resolve the extras' backing slices once, outside the element loop.
 	// The fixed buffer keeps typical chains (one or two residual adds)
@@ -93,5 +97,47 @@ func FusedElementwiseInto(out, in *tensor.Tensor, extras []*tensor.Tensor, stage
 			}
 		}
 		od[i] = v
+	}
+}
+
+// fusedElementwiseTypedInto is the dtype-aware slow path: identical stage
+// order, reduced-precision operands widened on load.
+func fusedElementwiseTypedInto(out, in *tensor.Tensor, extras []*tensor.Tensor, stages []ElementwiseStage) {
+	nAdd := 0
+	for _, st := range stages {
+		if st.Kind == EwAdd {
+			nAdd++
+		}
+	}
+	if nAdd != len(extras) {
+		panic("ops: FusedElementwiseInto extras do not match the add stages")
+	}
+	for _, e := range extras {
+		if e.Size() != in.Size() {
+			panic("ops: FusedElementwiseInto add operand shape mismatch")
+		}
+	}
+	n := in.Size()
+	for i := 0; i < n; i++ {
+		v := in.GetF(i)
+		ei := 0
+		for _, st := range stages {
+			switch st.Kind {
+			case EwReLU:
+				if v < 0 {
+					v = 0
+				}
+			case EwLeakyReLU:
+				if v < 0 {
+					v = st.Alpha * v
+				}
+			case EwSigmoid:
+				v = float32(1 / (1 + math.Exp(-float64(v))))
+			case EwAdd:
+				v += extras[ei].GetF(i)
+				ei++
+			}
+		}
+		out.SetF(i, v)
 	}
 }

@@ -83,13 +83,14 @@ func DefaultKernel(w ConvWorkload) ConvKernel {
 }
 
 // KernelProfile estimates the work kernel k does on workload w: flops and
-// bytes moved (for a roofline model such as sim.Device.AlgoSeconds) plus a
-// relative arithmetic efficiency in (0,1] capturing how well the
+// elements moved (for a roofline model such as sim.Device.AlgoSeconds,
+// which multiplies by the element width of the conv's storage dtype) plus
+// a relative arithmetic efficiency in (0,1] capturing how well the
 // implementation converts peak flops into useful work. The absolute values
 // matter less than the ordering they induce per workload.
-func KernelProfile(w ConvWorkload, k ConvKernel) (flops, bytes, eff float64) {
+func KernelProfile(w ConvWorkload, k ConvKernel) (flops, elems, eff float64) {
 	flops = w.FLOPs()
-	bytes = w.Bytes()
+	elems = w.Elems()
 	switch k {
 	case KernelDirect:
 		// Scalar loop, little register reuse; the hoisted bounds still
@@ -105,7 +106,7 @@ func KernelProfile(w ConvWorkload, k ConvKernel) (flops, bytes, eff float64) {
 		tiles := float64(w.N) * float64((w.OutH()+1)/2) * float64((w.OutW()+1)/2)
 		transform := tiles * float64(w.CIn) * (32 + 16) // data transform + tile FMAs bookkeeping
 		flops = flops/WinogradMultiplyReduction + 2*transform
-		bytes += 4 * float64(WinogradPackedElems(w))
+		elems += float64(WinogradPackedElems(w))
 		eff = 0.60
 	case KernelGEMM:
 		// Packed panels give the microkernel dense register reuse, but
@@ -113,7 +114,7 @@ func KernelProfile(w ConvWorkload, k ConvKernel) (flops, bytes, eff float64) {
 		g := max(1, w.Groups)
 		kdim := (w.CIn / g) * w.KH * w.KW
 		nCols := w.OutH() * w.OutW()
-		bytes += 8 * float64(w.N*g) * float64(kdim) * float64(nCols)
+		elems += 2 * float64(w.N*g) * float64(kdim) * float64(nCols)
 		eff = 0.80
 		// Tiny reductions or few output pixels leave panels underfilled.
 		if kdim < 32 {
@@ -125,35 +126,70 @@ func KernelProfile(w ConvWorkload, k ConvKernel) (flops, bytes, eff float64) {
 	default:
 		eff = 0.35
 	}
-	return flops, bytes, eff
+	return flops, elems, eff
 }
 
 // PreparedConv is a convolution bound to a concrete kernel with its weights
-// repacked into that kernel's layout. Prepared at plan time, it is
-// read-only and safe to share across concurrently running sessions.
+// repacked into that kernel's layout (and storage dtype). Prepared at plan
+// time, it is read-only and safe to share across concurrently running
+// sessions.
 type PreparedConv struct {
 	w      ConvWorkload
 	kernel ConvKernel
+	dtype  tensor.DType   // storage dtype the kernel computes over
 	weight *tensor.Tensor // original OIHW weights (direct/depthwise)
 	packed []float32      // GEMM packed-A panels or Winograd U, else nil
+
+	weight16 []uint16  // fp16 OIHW weights (direct/depthwise)
+	packed16 []uint16  // fp16 GEMM packed-A panels
+	packed8  []int8    // int8 GEMM packed-A panels
+	wscale   []float32 // int8 per-output-channel weight scales
 }
 
 // PrepareConv resolves kernel k for workload w (KernelAuto picks
 // DefaultKernel; unsupported choices fall back to KernelDirect) and packs
-// weight into the kernel's layout.
+// weight into the kernel's layout, at fp32 storage.
 func PrepareConv(w ConvWorkload, k ConvKernel, weight *tensor.Tensor) *PreparedConv {
+	return PrepareConvDType(w, k, weight, tensor.Float32)
+}
+
+// PrepareConvDType is PrepareConv for an explicit storage dtype. The fp32
+// path is identical to the historical PrepareConv. Under fp16 the weights
+// are narrowed to binary16 at pack time (Winograd has no reduced-precision
+// variant and falls back to the GEMM path). Int8 always uses the quantized
+// GEMM path with symmetric per-output-channel weight scales; the input's
+// per-tensor scale is read off the tensor at run time.
+func PrepareConvDType(w ConvWorkload, k ConvKernel, weight *tensor.Tensor, dt tensor.DType) *PreparedConv {
 	if k == KernelAuto {
 		k = DefaultKernel(w)
 	}
 	if !KernelSupported(k, w) {
 		k = KernelDirect
 	}
-	p := &PreparedConv{w: w, kernel: k, weight: weight}
-	switch k {
-	case KernelGEMM:
-		p.packed = PackConvWeightsGEMM(weight, w)
-	case KernelWinograd:
-		p.packed = PackConvWeightsWinograd(weight, w)
+	if dt != tensor.Float32 && k == KernelWinograd {
+		k = KernelGEMM
+	}
+	if dt == tensor.Int8 {
+		k = KernelGEMM
+	}
+	p := &PreparedConv{w: w, kernel: k, dtype: dt, weight: weight}
+	switch dt {
+	case tensor.Float16:
+		switch k {
+		case KernelGEMM:
+			p.packed16 = PackConvWeightsGEMMF16(weight, w)
+		default: // direct / depthwise read OIHW fp16 weights
+			p.weight16 = EncodeF16Slice(weight.Data())
+		}
+	case tensor.Int8:
+		p.packed8, p.wscale = PackConvWeightsInt8(weight, w)
+	default:
+		switch k {
+		case KernelGEMM:
+			p.packed = PackConvWeightsGEMM(weight, w)
+		case KernelWinograd:
+			p.packed = PackConvWeightsWinograd(weight, w)
+		}
 	}
 	return p
 }
@@ -161,16 +197,22 @@ func PrepareConv(w ConvWorkload, k ConvKernel, weight *tensor.Tensor) *PreparedC
 // Kernel returns the concrete kernel this conv was prepared for.
 func (p *PreparedConv) Kernel() ConvKernel { return p.kernel }
 
+// DType returns the storage dtype this conv was prepared for.
+func (p *PreparedConv) DType() tensor.DType { return p.dtype }
+
 // Workload returns the conv workload.
 func (p *PreparedConv) Workload() ConvWorkload { return p.w }
 
 // PackedElems returns the size of the repacked weight buffer (0 for
 // kernels that read the original OIHW weights).
-func (p *PreparedConv) PackedElems() int { return len(p.packed) }
+func (p *PreparedConv) PackedElems() int {
+	return len(p.packed) + len(p.packed16) + len(p.packed8)
+}
 
-// ScratchElems returns the per-run scratch requirement in float32 elements.
-// The runtime reserves this as an arena slot so Session.Run allocates
-// nothing; RunInto also accepts nil scratch and allocates locally.
+// ScratchElems returns the per-run scratch requirement in elements of
+// ScratchDType. The runtime reserves this as an arena slot so Session.Run
+// allocates nothing; RunInto also accepts nil scratch and allocates
+// locally.
 func (p *PreparedConv) ScratchElems() int {
 	if p.kernel == KernelGEMM {
 		return GEMMScratchElems(p.w)
@@ -178,10 +220,20 @@ func (p *PreparedConv) ScratchElems() int {
 	return 0
 }
 
+// ScratchDType returns the element type of the scratch buffer: int8 for
+// the quantized GEMM path (im2col panels hold codes), float32 otherwise
+// (the fp16 GEMM decodes into fp32 panels at pack time).
+func (p *PreparedConv) ScratchDType() tensor.DType {
+	if p.dtype == tensor.Int8 && p.kernel == KernelGEMM {
+		return tensor.Int8
+	}
+	return tensor.Float32
+}
+
 // RunInto executes the prepared convolution into out. scratch may be nil
 // (or short), in which case the kernel allocates its own.
 func (p *PreparedConv) RunInto(out, in, bias *tensor.Tensor, scratch []float32) {
-	p.RunIntoEpilogue(out, in, bias, nil, scratch, false)
+	p.RunIntoEpilogue(out, in, bias, nil, scratch, nil, false)
 }
 
 // RunIntoEpilogue is RunInto with the fused residual epilogue: residual
@@ -190,8 +242,24 @@ func (p *PreparedConv) RunInto(out, in, bias *tensor.Tensor, scratch []float32) 
 // ResNet conv→add→relu and Darknet conv(+act)→add patterns respectively.
 // Every kernel applies the identical per-element epilogue order, so the
 // result is bit-identical to running the add (and activation) as separate
-// kernels. residual must not alias out.
-func (p *PreparedConv) RunIntoEpilogue(out, in, bias, residual *tensor.Tensor, scratch []float32, postAct bool) {
+// kernels. residual must not alias out. scratch8 is only read by the int8
+// GEMM path (see ScratchDType); either scratch may be nil.
+func (p *PreparedConv) RunIntoEpilogue(out, in, bias, residual *tensor.Tensor, scratch []float32, scratch8 []int8, postAct bool) {
+	switch p.dtype {
+	case tensor.Float16:
+		switch p.kernel {
+		case KernelDepthwise:
+			conv2DDepthwiseF16Into(out, in, p.weight16, bias, residual, p.w, postAct)
+		case KernelGEMM:
+			conv2DGEMMF16Into(out, in, bias, residual, p.w, p.packed16, scratch, postAct)
+		default:
+			conv2DDirectF16Into(out, in, p.weight16, bias, residual, p.w, postAct)
+		}
+		return
+	case tensor.Int8:
+		conv2DGEMMInt8Into(out, in, bias, residual, p.w, p.packed8, p.wscale, scratch8, postAct)
+		return
+	}
 	var rd []float32
 	if residual != nil {
 		rd = residual.Data()

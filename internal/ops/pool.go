@@ -83,6 +83,17 @@ func GlobalAvgPool(in *tensor.Tensor) *tensor.Tensor {
 func GlobalAvgPoolInto(out, in *tensor.Tensor) {
 	s := in.Shape()
 	n, c, hw := s[0], s[1], s[2]*s[3]
+	if !allFloat32(out, in) {
+		for p := 0; p < n*c; p++ {
+			base := p * hw
+			var sum float64
+			for i := 0; i < hw; i++ {
+				sum += float64(in.GetF(base + i))
+			}
+			out.SetF(p, float32(sum/float64(hw)))
+		}
+		return
+	}
 	id, od := in.Data(), out.Data()
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {

@@ -51,14 +51,18 @@ func (w ConvWorkload) FLOPs() float64 {
 	return 2 * macs
 }
 
-// Bytes is the compulsory traffic: input + weights + output, once each.
-func (w ConvWorkload) Bytes() float64 {
+// Elems is the compulsory traffic in elements: input + weights + output,
+// once each. Multiply by the element width for bytes.
+func (w ConvWorkload) Elems() float64 {
 	g := max(1, w.Groups)
 	in := w.N * w.CIn * w.H * w.W
 	wt := w.COut * (w.CIn / g) * w.KH * w.KW
 	out := w.N * w.COut * w.OutH() * w.OutW()
-	return 4 * float64(in+wt+out)
+	return float64(in + wt + out)
 }
+
+// Bytes is the compulsory traffic at fp32 element width.
+func (w ConvWorkload) Bytes() float64 { return 4 * w.Elems() }
 
 // Key is the canonical database key for the tuning-records store.
 func (w ConvWorkload) Key() string {

@@ -67,6 +67,13 @@ type planNode struct {
 	slot     int  // arena slot index
 	gpu      bool // serialized through the simulated GPU command queue
 
+	// dtype is the storage type of the node's output buffer (from the
+	// graph node, set by the quantization pass; Float32 otherwise) and
+	// qscale the Int8 dequantization scale. Slots are dtype-segregated:
+	// a buffer is only ever reused at its own element width.
+	dtype  tensor.DType
+	qscale float32
+
 	// conv is the prepacked convolution for conv nodes with constant
 	// weights: the selected kernel's weight layout is built once at plan
 	// time and shared read-only by every session. scratchSlot/scratchElems
@@ -76,6 +83,7 @@ type planNode struct {
 	conv         *ops.PreparedConv
 	scratchSlot  int
 	scratchElems int
+	scratchDT    tensor.DType // int8 GEMM packs codes; else float32
 	// biasArg/resArg are the prepacked conv's optional bias and fused
 	// residual positions in args (-1 when absent); postAct orders the
 	// residual add after the fused activation (see ops.RunIntoEpilogue).
@@ -100,14 +108,19 @@ type planNode struct {
 // needs: everything Execute used to recompute per call (validation,
 // reference counts, allocation decisions) happens exactly once here.
 type Plan struct {
-	nodes      []planNode
-	inputs     []inputSpec
-	feedArgs   []feedArg
-	outputs    []valueRef
-	slotElems  []int
-	arenaElems int
-	peakLive   int // refcount-liveness peak, as the seed executor measured
-	interBytes int // total intermediate bytes per run (without reuse)
+	nodes     []planNode
+	inputs    []inputSpec
+	feedArgs  []feedArg
+	outputs   []valueRef
+	slotElems []int
+	slotDType []tensor.DType
+	// Per-width arena pool capacities in elements. arenaElems keeps the
+	// historical fp32 name (and value) so fp32-only plans are unchanged.
+	arenaElems   int // float32 pool
+	arenaElems16 int // binary16 pool
+	arenaElems8  int // int8 pool
+	peakLive     int // refcount-liveness peak, as the seed executor measured
+	interBytes   int // total intermediate bytes per run (without reuse)
 
 	label atomic.Pointer[string] // telemetry label, see SetLabel
 }
@@ -151,21 +164,27 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 			op: n.Op, outShape: n.OutShape, elems: n.OutShape.NumElements(),
 			gpu: n.Device == graph.OnGPU, scratchSlot: -1,
 			biasArg: -1, resArg: -1,
+			dtype: n.DType, qscale: n.QScale,
 		}
 		if io, ok := n.Op.(graph.IntoOperator); ok {
 			pn.into = io
 		}
-		// Prepack conv weights for the selected kernel. Only convs with
-		// constant weights qualify (a fed or computed weight could change
-		// between runs); those fall back to the generic ExecuteInto path.
+		// Prepack conv weights for the selected kernel (and storage dtype).
+		// Only convs with constant weights qualify (a fed or computed weight
+		// could change between runs); those fall back to the generic
+		// ExecuteInto path.
 		pn.profKind = pn.kind
 		if convOp, ok := n.Op.(*graph.ConvOp); ok &&
 			len(n.Inputs) > 1 && n.Inputs[1].IsConstant() {
-			pn.conv = ops.PrepareConv(convOp.W, convOp.Kernel, n.Inputs[1].Value)
+			pn.conv = ops.PrepareConvDType(convOp.W, convOp.Kernel, n.Inputs[1].Value, convOp.DType)
 			pn.scratchElems = pn.conv.ScratchElems()
+			pn.scratchDT = pn.conv.ScratchDType()
 			pn.biasArg, pn.resArg = convOp.ArgIndices(len(n.Inputs))
 			pn.postAct = convOp.ResidualPostAct
 			pn.profKind = pn.kind + "/" + pn.conv.Kernel().String()
+			if dt := pn.conv.DType(); dt != tensor.Float32 {
+				pn.profKind += "@" + dt.String()
+			}
 			obs.Count("kernel.selected."+pn.conv.Kernel().String(), 1)
 		}
 		pn.args = make([]valueRef, len(n.Inputs))
@@ -219,7 +238,8 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 	// anti-dependency edges reader -> new occupant.
 	type slotState struct {
 		elems   int
-		readers []int32 // must complete before the slot is re-occupied
+		dtype   tensor.DType // slots only ever hold one element width
+		readers []int32      // must complete before the slot is re-occupied
 	}
 	var slots []slotState
 	var free []int
@@ -238,34 +258,39 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 		p.nodes[y].pending++
 	}
 
-	// acquire takes the best-fitting free slot for elems (growing the
-	// largest free slot when nothing fits, appending when none are free)
-	// and anti-depends node i on every reader of the slot's previous
-	// occupant, so the buffer is never re-occupied while still being read.
-	acquire := func(elems, i int) int {
+	// acquire takes the best-fitting free slot of the right dtype for elems
+	// (growing the largest free same-dtype slot when nothing fits,
+	// appending when none are free) and anti-depends node i on every reader
+	// of the slot's previous occupant, so the buffer is never re-occupied
+	// while still being read. Slots are never reused across element widths:
+	// each lives in its dtype's arena pool.
+	acquire := func(elems int, dt tensor.DType, i int) int {
 		s := -1
-		if len(free) > 0 {
-			bestIdx, largestIdx := -1, 0
-			for fi, fs := range free {
-				c := slots[fs].elems
-				if c >= elems && (bestIdx == -1 || c < slots[free[bestIdx]].elems) {
-					bestIdx = fi
-				}
-				if c > slots[free[largestIdx]].elems {
-					largestIdx = fi
-				}
+		bestIdx, largestIdx := -1, -1
+		for fi, fs := range free {
+			if slots[fs].dtype != dt {
+				continue
 			}
-			pick := bestIdx
-			if pick == -1 {
-				pick = largestIdx
+			c := slots[fs].elems
+			if c >= elems && (bestIdx == -1 || c < slots[free[bestIdx]].elems) {
+				bestIdx = fi
 			}
+			if largestIdx == -1 || c > slots[free[largestIdx]].elems {
+				largestIdx = fi
+			}
+		}
+		pick := bestIdx
+		if pick == -1 {
+			pick = largestIdx
+		}
+		if pick >= 0 {
 			s = free[pick]
 			free = append(free[:pick], free[pick+1:]...)
 			if slots[s].elems < elems {
 				slots[s].elems = elems
 			}
 		} else {
-			slots = append(slots, slotState{elems: elems})
+			slots = append(slots, slotState{elems: elems, dtype: dt})
 			s = len(slots) - 1
 		}
 		for _, r := range slots[s].readers {
@@ -278,12 +303,12 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 	live, peak := 0, 0
 	for i, n := range gnodes {
 		pn := &p.nodes[i]
-		bytes := 4 * pn.elems
+		bytes := pn.dtype.Size() * pn.elems
 		p.interBytes += bytes
 
 		// Acquire the output slot before releasing inputs, so a node never
 		// writes over a buffer it is still reading.
-		s := acquire(pn.elems, i)
+		s := acquire(pn.elems, pn.dtype, i)
 		pn.slot = s
 
 		// A prepacked conv's scratch lives only while the node runs:
@@ -293,7 +318,7 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 		// liveness accounting — peakLive/interBytes keep the seed
 		// executor's intermediate-tensor semantics.
 		if pn.scratchElems > 0 {
-			sc := acquire(pn.scratchElems, i)
+			sc := acquire(pn.scratchElems, pn.scratchDT, i)
 			pn.scratchSlot = sc
 			slots[sc].readers = []int32{int32(i)}
 			free = append(free, sc)
@@ -311,7 +336,7 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 			refs[in]--
 			if refs[in] == 0 {
 				j := idx[in]
-				live -= 4 * p.nodes[j].elems
+				live -= p.nodes[j].dtype.Size() * p.nodes[j].elems
 				free = append(free, p.nodes[j].slot)
 				slots[p.nodes[j].slot].readers = readersOf(j)
 			}
@@ -326,9 +351,18 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 	p.peakLive = peak
 
 	p.slotElems = make([]int, len(slots))
+	p.slotDType = make([]tensor.DType, len(slots))
 	for si, st := range slots {
 		p.slotElems[si] = st.elems
-		p.arenaElems += st.elems
+		p.slotDType[si] = st.dtype
+		switch st.dtype {
+		case tensor.Float16:
+			p.arenaElems16 += st.elems
+		case tensor.Int8:
+			p.arenaElems8 += st.elems
+		default:
+			p.arenaElems += st.elems
+		}
 	}
 
 	p.outputs = make([]valueRef, len(g.Outputs))
@@ -347,8 +381,9 @@ func NewPlan(g *graph.Graph) (*Plan, error) {
 }
 
 // ArenaBytes is the planned arena size: what one Session preallocates for
-// all intermediate tensors.
-func (p *Plan) ArenaBytes() int { return 4 * p.arenaElems }
+// all intermediate tensors, summed across the per-width pools (4-byte
+// fp32, 2-byte fp16, 1-byte int8 slots each count at their real width).
+func (p *Plan) ArenaBytes() int { return 4*p.arenaElems + 2*p.arenaElems16 + p.arenaElems8 }
 
 // PeakLiveBytes is the reference-counted liveness peak the seed executor
 // would report for this graph — the lower bound the slot assignment
@@ -421,6 +456,7 @@ type Session struct {
 	arena      *tensor.Arena
 	outs       []*tensor.Tensor   // per-node arena-backed outputs
 	scratch    [][]float32        // per-node arena-backed conv workspace (nil when unused)
+	scratch8   [][]int8           // per-node int8 conv workspace (quantized GEMM only)
 	args       [][]*tensor.Tensor // per-node inputs; feed entries refreshed per Run
 	results    []*tensor.Tensor
 	pending    []int32
@@ -456,7 +492,7 @@ func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
 		plan:         p,
 		opts:         opts,
 		concurrent:   opts.Workers > 1 || opts.GPUStreams > 1,
-		arena:        tensor.NewArena(p.arenaElems),
+		arena:        tensor.NewArenaMixed(p.arenaElems, p.arenaElems16, p.arenaElems8),
 		faults:       opts.Faults,
 		breaker:      opts.Breaker,
 		maxRetries:   opts.MaxRetries,
@@ -474,18 +510,40 @@ func (p *Plan) NewSessionWith(opts SessionOptions) *Session {
 		s.breaker = NewBreaker(BreakerOptions{})
 	}
 	s.jitterState.Store(0x9e3779b97f4a7c15)
+	// Carve one buffer per slot out of the width-matching arena pool.
 	slotBuf := make([][]float32, len(p.slotElems))
+	slotBuf16 := make([][]uint16, len(p.slotElems))
+	slotBuf8 := make([][]int8, len(p.slotElems))
 	for si, e := range p.slotElems {
-		slotBuf[si] = s.arena.Alloc(e)
+		switch p.slotDType[si] {
+		case tensor.Float16:
+			slotBuf16[si] = s.arena.Alloc16(e)
+		case tensor.Int8:
+			slotBuf8[si] = s.arena.Alloc8(e)
+		default:
+			slotBuf[si] = s.arena.Alloc(e)
+		}
 	}
 	s.outs = make([]*tensor.Tensor, len(p.nodes))
 	s.scratch = make([][]float32, len(p.nodes))
+	s.scratch8 = make([][]int8, len(p.nodes))
 	s.args = make([][]*tensor.Tensor, len(p.nodes))
 	for i := range p.nodes {
 		pn := &p.nodes[i]
-		s.outs[i] = tensor.FromData(slotBuf[pn.slot][:pn.elems:pn.elems], pn.outShape...)
+		switch pn.dtype {
+		case tensor.Float16:
+			s.outs[i] = tensor.FromHalf(slotBuf16[pn.slot][:pn.elems:pn.elems], pn.outShape...)
+		case tensor.Int8:
+			s.outs[i] = tensor.FromInt8(slotBuf8[pn.slot][:pn.elems:pn.elems], pn.qscale, pn.outShape...)
+		default:
+			s.outs[i] = tensor.FromData(slotBuf[pn.slot][:pn.elems:pn.elems], pn.outShape...)
+		}
 		if pn.scratchSlot >= 0 {
-			s.scratch[i] = slotBuf[pn.scratchSlot][:pn.scratchElems:pn.scratchElems]
+			if pn.scratchDT == tensor.Int8 {
+				s.scratch8[i] = slotBuf8[pn.scratchSlot][:pn.scratchElems:pn.scratchElems]
+			} else {
+				s.scratch[i] = slotBuf[pn.scratchSlot][:pn.scratchElems:pn.scratchElems]
+			}
 		}
 		a := make([]*tensor.Tensor, len(pn.args))
 		for ai, vr := range pn.args {
@@ -560,6 +618,9 @@ func (p *Plan) validateFeeds(feeds map[string]*tensor.Tensor) error {
 		if !t.Shape().Equal(in.shape) {
 			return fmt.Errorf("runtime: input %q shape %v, want %v", in.name, t.Shape(), in.shape)
 		}
+		if t.DType() != tensor.Float32 {
+			return fmt.Errorf("runtime: input %q fed a %s tensor; graph inputs are float32 (the quantization pass inserts casts)", in.name, t.DType())
+		}
 		if len(t.Data()) != in.shape.NumElements() {
 			return fmt.Errorf("runtime: input %q backing data has %d elements, shape %v needs %d",
 				in.name, len(t.Data()), in.shape, in.shape.NumElements())
@@ -599,7 +660,7 @@ func (s *Session) RunContext(ctx context.Context, feeds map[string]*tensor.Tenso
 	sp := obs.Start("runtime.execute")
 	if traceOn {
 		sp.SetAttrs(obs.KVInt("nodes", len(p.nodes)))
-		mArenaReused.Add(int64(p.interBytes - 4*p.arenaElems))
+		mArenaReused.Add(int64(p.interBytes - p.ArenaBytes()))
 	}
 	defer sp.End()
 
@@ -716,7 +777,7 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool, lane string, 
 		if pn.resArg >= 0 {
 			res = ins[pn.resArg]
 		}
-		pn.conv.RunIntoEpilogue(s.outs[i], ins[0], bias, res, s.scratch[i], pn.postAct)
+		pn.conv.RunIntoEpilogue(s.outs[i], ins[0], bias, res, s.scratch[i], s.scratch8[i], pn.postAct)
 	} else if pn.into != nil {
 		pn.into.ExecuteInto(s.outs[i], ins)
 	} else {
@@ -727,19 +788,19 @@ func (s *Session) runNode(i int32, parent *obs.Span, traceOn bool, lane string, 
 			}
 			return fmt.Errorf("runtime: node %q produced %v, inferred %v", pn.name, out.Shape(), pn.outShape)
 		}
-		copy(s.outs[i].Data(), out.Data())
+		tensor.Copy(s.outs[i], out)
 	}
 	if timed {
 		wall := time.Since(start)
 		if traceOn {
-			nsp.SetAttrs(obs.KVInt("out_bytes", 4*pn.elems))
+			nsp.SetAttrs(obs.KVInt("out_bytes", pn.dtype.Size()*pn.elems))
 			nsp.End()
 			obs.Observe("exec.node_wall_ns", float64(wall.Nanoseconds()))
 		}
 		if profiled {
 			s.profile[i] = NodeProfile{
 				Name: pn.name, Kind: pn.kind, Device: pn.device,
-				Wall: wall, OutBytes: 4 * pn.elems,
+				Wall: wall, OutBytes: pn.dtype.Size() * pn.elems,
 			}
 		}
 		if s.profSampled {

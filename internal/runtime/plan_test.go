@@ -9,6 +9,7 @@ import (
 	"unigpu/internal/models"
 	"unigpu/internal/ops"
 	"unigpu/internal/runtime"
+	"unigpu/internal/sim"
 	"unigpu/internal/tensor"
 )
 
@@ -359,24 +360,39 @@ func TestPlanMatchesExecuteSemantics(t *testing.T) {
 	}
 }
 
-// BenchmarkSessionRun measures the pooled serial hot path; the benchmem
-// acceptance criterion is 0 allocs/op.
+// BenchmarkSessionRun measures the pooled serial hot path at every
+// storage dtype on the serial-ops graph; the benchmem acceptance
+// criterion is 0 allocs/op for each dtype path — fp16 carriers, cast
+// nodes and mixed-width arena slots must stay as allocation-free as the
+// fp32 path. (Convolution kernels parallelize internally with goroutine
+// fan-out, so their wall clock per dtype is tracked separately in
+// BenchmarkConvKernels.)
 func BenchmarkSessionRun(b *testing.B) {
-	g, feeds := buildSerialOpsGraph()
-	plan, err := runtime.NewPlan(g)
-	if err != nil {
-		b.Fatal(err)
-	}
-	s := plan.NewSession()
-	if _, err := s.Run(feeds); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Run(feeds); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []graph.QuantMode{
+		graph.QuantOff, graph.QuantFP16, graph.QuantINT8, graph.QuantAuto,
+	} {
+		b.Run("dtype="+mode.String(), func(b *testing.B) {
+			g, feeds := buildSerialOpsGraph()
+			if _, err := graph.QuantizeGraph(g,
+				graph.QuantizeOptions{Mode: mode, Device: sim.IntelHD505}); err != nil {
+				b.Fatal(err)
+			}
+			plan, err := runtime.NewPlan(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := plan.NewSession()
+			if _, err := s.Run(feeds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(feeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

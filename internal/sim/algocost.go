@@ -1,17 +1,42 @@
 package sim
 
-// AlgoSeconds is a roofline estimate for one kernel invocation described by
-// its flop count, bytes moved, and relative arithmetic efficiency (how well
-// the implementation converts the device's achievable peak into useful
-// work; see ops.KernelProfile). It is used by the graph-level conv kernel
-// selector to rank alternative algorithms for the same workload — the
+// dtypeRate returns the device's throughput multiplier for an element
+// width in bytes: 1 for fp32, FP16Rate for 2-byte storage, Int8Rate for
+// 1-byte storage. Unset (zero) rates default to 1, so devices without
+// declared reduced-precision units price fp16/int8 arithmetic at fp32
+// speed — storage traffic still shrinks with the element width.
+func (d *Device) dtypeRate(elemBytes float64) float64 {
+	switch elemBytes {
+	case 2:
+		if d.FP16Rate > 0 {
+			return d.FP16Rate
+		}
+	case 1:
+		if d.Int8Rate > 0 {
+			return d.Int8Rate
+		}
+	}
+	return 1
+}
+
+// AlgoSeconds is a roofline estimate for one kernel invocation described
+// by its flop count, the number of elements moved, the element width in
+// bytes, and a relative arithmetic efficiency (how well the implementation
+// converts the device's achievable peak into useful work; see
+// ops.KernelProfile). Reduced-precision storage pays for fewer bytes on
+// the memory side and earns the device's dtype throughput multiplier on
+// the compute side. It is used by the graph-level conv kernel selector to
+// rank alternative algorithms (and dtypes) for the same workload — the
 // absolute seconds matter less than the per-workload ordering.
-func (d *Device) AlgoSeconds(flops, bytes, eff float64) float64 {
+func (d *Device) AlgoSeconds(flops, elems, elemBytes, eff float64) float64 {
 	if eff <= 0 {
 		eff = 1e-3
 	}
-	compute := flops / (d.PeakGFLOPs * 1e9 * d.BaseEfficiency * eff)
-	memory := bytes / (d.MemBandwidthGBs * 1e9)
+	if elemBytes <= 0 {
+		elemBytes = 4
+	}
+	compute := flops / (d.PeakGFLOPs * 1e9 * d.dtypeRate(elemBytes) * d.BaseEfficiency * eff)
+	memory := elems * elemBytes / (d.MemBandwidthGBs * 1e9)
 	t := compute
 	if memory > t {
 		t = memory

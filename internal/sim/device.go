@@ -95,6 +95,14 @@ type Device struct {
 	// reaches in practice on this device (driver, ISA and DVFS losses).
 	BaseEfficiency float64
 
+	// FP16Rate and Int8Rate are throughput multipliers over the fp32 peak
+	// for half-precision and 8-bit-integer arithmetic (e.g. 2 when the
+	// device issues packed 2x fp16 per fp32 lane). Zero means "no declared
+	// reduced-precision units": arithmetic is priced at fp32 speed and only
+	// the memory traffic shrinks.
+	FP16Rate float64
+	Int8Rate float64
+
 	// Faults optionally injects runtime failures into this device's
 	// simulated dispatches (nil = always healthy). The runtime consults it
 	// for every GPU-placed node; see FaultInjector. Attach per-Device —
@@ -127,6 +135,8 @@ var (
 		// (SqueezeNet) more than deep-but-chunky ones (ResNet).
 		KernelLaunchUs: 280, GlobalSyncUs: 90, CopyLatencyUs: 9,
 		BaseEfficiency: 0.17,
+		// Gen9 EUs issue packed 2x fp16 per fp32 lane; no int8 dot units.
+		FP16Rate: 2.0,
 	}
 	AtomE3930 = &Device{
 		Name: "Intel Atom x5-E3930", Vendor: GenericCPU, API: Native,
@@ -147,6 +157,9 @@ var (
 		RegisterKBPerThread: 1, SharedMemKB: 0, L2KB: 256,
 		KernelLaunchUs: 32, GlobalSyncUs: 55, CopyLatencyUs: 12,
 		BaseEfficiency: 0.20,
+		// Midgard's arithmetic pipes are 128-bit vector: twice the fp16
+		// lanes and 4x-packed int8 ops (priced conservatively at 2x).
+		FP16Rate: 2.0, Int8Rate: 2.0,
 	}
 	RK3399CPU = &Device{
 		Name: "RK3399 Cortex-A72", Vendor: GenericCPU, API: Native,
@@ -167,6 +180,9 @@ var (
 		RegisterKBPerThread: 1, SharedMemKB: 64, L2KB: 256,
 		KernelLaunchUs: 9, GlobalSyncUs: 14, CopyLatencyUs: 5,
 		BaseEfficiency: 0.27,
+		// Tegra-generation Maxwell issues paired fp16x2 FMAs; int8 has no
+		// dedicated dot-product path (that arrives with Pascal's dp4a).
+		FP16Rate: 2.0,
 	}
 	CortexA57 = &Device{
 		Name: "Jetson Nano Cortex-A57", Vendor: GenericCPU, API: Native,

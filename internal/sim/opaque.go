@@ -3,14 +3,18 @@ package sim
 import "math"
 
 // CostFlopsBytes prices a workload characterized only by its arithmetic
-// and traffic volumes, at a given fraction of the device's base efficiency.
-// It is used for operators accounted at the graph level without lowering
-// through te (elementwise tails, CPU-fallback operators, vendor-library
-// profile entries).
-func CostFlopsBytes(d *Device, flops, bytes, relEff float64) float64 {
+// and traffic volumes — elems elements of elemBytes width each, moved once
+// — at a given fraction of the device's base efficiency. It is used for
+// operators accounted at the graph level without lowering through te
+// (elementwise tails, CPU-fallback operators, vendor-library profile
+// entries). elemBytes <= 0 defaults to fp32 width.
+func CostFlopsBytes(d *Device, flops, elems, elemBytes, relEff float64) float64 {
+	if elemBytes <= 0 {
+		elemBytes = 4
+	}
 	eff := math.Max(1e-4, d.BaseEfficiency*relEff)
-	compute := flops / (d.PeakGFLOPs * 1e9 * eff)
-	mem := bytes / (d.MemBandwidthGBs * 1e9)
+	compute := flops / (d.PeakGFLOPs * 1e9 * d.dtypeRate(elemBytes) * eff)
+	mem := elems * elemBytes / (d.MemBandwidthGBs * 1e9)
 	return math.Max(compute, mem) + d.KernelLaunchUs*1e-6
 }
 

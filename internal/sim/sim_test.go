@@ -250,12 +250,12 @@ func TestIntervalArithmetic(t *testing.T) {
 }
 
 func TestOpaqueCosts(t *testing.T) {
-	c := CostFlopsBytes(MaxwellNano, 1e9, 1e6, 1.0)
+	c := CostFlopsBytes(MaxwellNano, 1e9, 250e3, 4, 1.0)
 	if !(c > 0 && c < 1) {
 		t.Fatalf("opaque cost = %v", c)
 	}
 	// Memory-bound workload should be priced by bandwidth.
-	cm := CostFlopsBytes(MaxwellNano, 1e3, 256e6, 1.0)
+	cm := CostFlopsBytes(MaxwellNano, 1e3, 64e6, 4, 1.0)
 	if cm < 256e6/(MaxwellNano.MemBandwidthGBs*1e9) {
 		t.Fatal("memory-bound cost below bandwidth bound")
 	}

@@ -8,22 +8,44 @@ import "fmt"
 // every inference — the steady-state run loop never touches the heap for
 // intermediate tensors.
 //
+// Mixed-precision plans carve from three width-segregated pools (float32,
+// binary16, int8) sized independently, so a half-precision slot really
+// occupies half the bytes of its fp32 counterpart.
+//
 // An arena is not safe for concurrent allocation; allocate everything at
 // session-build time and only read/write the carved tensors afterwards.
 type Arena struct {
-	buf []float32
-	off int
+	buf   []float32
+	off   int
+	buf16 []uint16
+	off16 int
+	buf8  []int8
+	off8  int
 }
 
-// NewArena allocates an arena holding elems float32 values.
+// NewArena allocates an arena holding elems float32 values (no reduced-
+// precision pools); the historical fp32-only constructor.
 func NewArena(elems int) *Arena {
 	return &Arena{buf: make([]float32, elems)}
 }
 
-// Alloc carves the next elems values off the arena. The returned slice has
-// full capacity equal to its length, so appends never bleed into the
-// neighbouring slot. Alloc panics when the arena is exhausted: plans size
-// arenas exactly, so running out is a planner bug, never a runtime
+// NewArenaMixed allocates an arena with per-dtype pool capacities in
+// elements: e32 float32s, e16 binary16s, e8 int8s.
+func NewArenaMixed(e32, e16, e8 int) *Arena {
+	a := &Arena{buf: make([]float32, e32)}
+	if e16 > 0 {
+		a.buf16 = make([]uint16, e16)
+	}
+	if e8 > 0 {
+		a.buf8 = make([]int8, e8)
+	}
+	return a
+}
+
+// Alloc carves the next elems float32 values off the arena. The returned
+// slice has full capacity equal to its length, so appends never bleed into
+// the neighbouring slot. Alloc panics when the arena is exhausted: plans
+// size arenas exactly, so running out is a planner bug, never a runtime
 // condition to handle.
 func (a *Arena) Alloc(elems int) []float32 {
 	if a.off+elems > len(a.buf) {
@@ -35,23 +57,59 @@ func (a *Arena) Alloc(elems int) []float32 {
 	return s
 }
 
-// Reset rewinds the arena so the storage can be carved again. Tensors
-// handed out before the reset alias any new allocations.
-func (a *Arena) Reset() { a.off = 0 }
+// Alloc16 carves the next elems binary16 values off the fp16 pool.
+func (a *Arena) Alloc16(elems int) []uint16 {
+	if a.off16+elems > len(a.buf16) {
+		panic(fmt.Sprintf("tensor: fp16 arena pool exhausted: need %d elements, %d of %d left",
+			elems, len(a.buf16)-a.off16, len(a.buf16)))
+	}
+	s := a.buf16[a.off16 : a.off16+elems : a.off16+elems]
+	a.off16 += elems
+	return s
+}
 
-// Cap returns the arena capacity in elements.
+// Alloc8 carves the next elems int8 values off the int8 pool.
+func (a *Arena) Alloc8(elems int) []int8 {
+	if a.off8+elems > len(a.buf8) {
+		panic(fmt.Sprintf("tensor: int8 arena pool exhausted: need %d elements, %d of %d left",
+			elems, len(a.buf8)-a.off8, len(a.buf8)))
+	}
+	s := a.buf8[a.off8 : a.off8+elems : a.off8+elems]
+	a.off8 += elems
+	return s
+}
+
+// Reset rewinds every pool so the storage can be carved again. Tensors
+// handed out before the reset alias any new allocations.
+func (a *Arena) Reset() { a.off, a.off16, a.off8 = 0, 0, 0 }
+
+// Cap returns the fp32 pool capacity in elements.
 func (a *Arena) Cap() int { return len(a.buf) }
 
-// Used returns the number of elements allocated so far.
+// Used returns the number of fp32 elements allocated so far.
 func (a *Arena) Used() int { return a.off }
 
-// Bytes returns the arena capacity in bytes.
-func (a *Arena) Bytes() int { return 4 * len(a.buf) }
+// Bytes returns the arena capacity in bytes across all width pools.
+func (a *Arena) Bytes() int { return 4*len(a.buf) + 2*len(a.buf16) + len(a.buf8) }
 
-// NewIn allocates an arena-backed tensor of the given shape: the pooled
-// counterpart of New. The tensor's storage lives inside the arena and is
-// reused (not zeroed) across arena resets.
+// NewIn allocates an arena-backed float32 tensor of the given shape: the
+// pooled counterpart of New. The tensor's storage lives inside the arena
+// and is reused (not zeroed) across arena resets.
 func NewIn(a *Arena, shape ...int) *Tensor {
 	n := Shape(shape).NumElements()
 	return FromData(a.Alloc(n), shape...)
+}
+
+// NewInTyped allocates an arena-backed tensor of the given dtype; scale is
+// the Int8 dequantization scale (ignored for other dtypes).
+func NewInTyped(a *Arena, dt DType, scale float32, shape ...int) *Tensor {
+	n := Shape(shape).NumElements()
+	switch dt {
+	case Float16:
+		return FromHalf(a.Alloc16(n), shape...)
+	case Int8:
+		return FromInt8(a.Alloc8(n), scale, shape...)
+	default:
+		return FromData(a.Alloc(n), shape...)
+	}
 }

@@ -1,0 +1,156 @@
+package tensor
+
+import "math"
+
+// DType identifies the element storage type of a tensor. The zero value is
+// Float32, so every pre-existing construction path keeps full-precision
+// semantics without change.
+//
+// Reduced-precision tensors follow the accumulate-in-fp32 discipline: fp16
+// and int8 are *storage* formats (what lives in the arena and moves over
+// the simulated memory bus); kernels widen on load, accumulate in float32,
+// and narrow once on store.
+type DType uint8
+
+const (
+	// Float32 is the full-precision reference format.
+	Float32 DType = iota
+	// Float16 is IEEE 754 binary16 storage (fp32 accumulate).
+	Float16
+	// Int8 is symmetric signed-8-bit quantized storage: value = scale * q,
+	// q in [-127, 127]. The scale rides on the tensor (per-tensor) or, for
+	// prepacked conv weights, per output channel.
+	Int8
+)
+
+// Size returns the element width in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float16:
+		return 2
+	case Int8:
+		return 1
+	}
+	return 4
+}
+
+func (d DType) String() string {
+	switch d {
+	case Float16:
+		return "fp16"
+	case Int8:
+		return "int8"
+	}
+	return "fp32"
+}
+
+// ParseDType recognizes the names used by tuning records and the -dtype
+// CLI flag ("fp32"/"float32", "fp16"/"float16", "int8").
+func ParseDType(s string) (DType, bool) {
+	switch s {
+	case "fp32", "float32", "":
+		return Float32, true
+	case "fp16", "float16", "half":
+		return Float16, true
+	case "int8":
+		return Int8, true
+	}
+	return Float32, false
+}
+
+// F16Encode converts a float32 to IEEE 754 binary16 with round-to-nearest-
+// even, the hardware rounding mode. Overflow saturates to infinity;
+// subnormal halves are produced exactly; NaN stays NaN.
+func F16Encode(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127
+	man := b & 0x7fffff
+	switch {
+	case exp == 128: // inf or NaN
+		if man != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 15: // overflow -> inf
+		return sign | 0x7c00
+	case exp >= -14: // normal range: drop 13 mantissa bits with RNE
+		m := man >> 13
+		rem := man & 0x1fff
+		h := sign | uint16(exp+15)<<10 | uint16(m)
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			h++ // mantissa carry ripples into the exponent, which is exact
+		}
+		return h
+	case exp >= -24: // subnormal half
+		sig := man | 0x800000
+		shift := uint32(-exp - 1) // in [14, 23]
+		m := sig >> shift
+		rem := sig & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		h := sign | uint16(m)
+		if rem > half || (rem == half && m&1 == 1) {
+			h++
+		}
+		return h
+	default: // underflow to signed zero
+		return sign
+	}
+}
+
+// F16Decode converts an IEEE 754 binary16 to float32 exactly (every half
+// value is representable in single precision).
+func F16Decode(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // inf or NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7fc00000 | man<<13)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal half: normalize into the float32 format.
+		e := uint32(113) // 127 - 15 + 1
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | e<<23 | (man&0x3ff)<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	}
+}
+
+// F16Round is the value a float32 takes after a round trip through fp16
+// storage — what a kernel reading an fp16 tensor actually sees.
+func F16Round(f float32) float32 { return F16Decode(F16Encode(f)) }
+
+// Int8Scale returns the symmetric per-tensor quantization scale mapping
+// [-maxAbs, maxAbs] onto [-127, 127]. A degenerate (zero or non-finite)
+// range yields scale 1 so quantizing a constant-zero tensor stays exact.
+func Int8Scale(maxAbs float64) float32 {
+	if !(maxAbs > 0) || math.IsInf(maxAbs, 0) {
+		return 1
+	}
+	return float32(maxAbs / 127)
+}
+
+// QuantizeInt8 maps v to its quantized code under scale: round-to-nearest,
+// saturating at ±127.
+func QuantizeInt8(v, scale float32) int8 {
+	if scale == 0 {
+		return 0
+	}
+	q := math.RoundToEven(float64(v) / float64(scale))
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}

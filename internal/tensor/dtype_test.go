@@ -1,0 +1,147 @@
+package tensor_test
+
+import (
+	"math"
+	"testing"
+
+	"unigpu/internal/tensor"
+)
+
+// TestF16RoundTripEdgeCases pins the binary16 conversion on the IEEE 754
+// edge cases: signed zero, subnormal boundaries, the largest finite
+// half, overflow to infinity, and round-to-nearest-even ties.
+func TestF16RoundTripEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{65504, 0x7BFF},             // largest finite half
+		{65536, 0x7C00},             // overflow -> +inf
+		{-1e9, 0xFC00},              // overflow -> -inf
+		{5.9604645e-8, 0x0001},      // smallest subnormal
+		{6.097555e-5, 0x03FF},       // largest subnormal
+		{6.1035156e-5, 0x0400},      // smallest normal
+		{2.9802322e-8, 0x0000},      // half of smallest subnormal: RNE ties to even (zero)
+		{8.940697e-8, 0x0002},       // 1.5x smallest subnormal: ties to even (2)
+		{1.00048828125, 0x3C00},     // 1 + half-ulp: RNE tie to even
+		{1.0004884, 0x3C01},         // just above the tie: rounds up
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, tc := range cases {
+		if got := tensor.F16Encode(tc.in); got != tc.bits {
+			t.Errorf("F16Encode(%g) = %#04x, want %#04x", tc.in, got, tc.bits)
+		}
+	}
+	// NaN must stay NaN.
+	if v := tensor.F16Decode(tensor.F16Encode(float32(math.NaN()))); !math.IsNaN(float64(v)) {
+		t.Errorf("NaN round-trip produced %g", v)
+	}
+	// Every representable half value must round-trip exactly through fp32.
+	for bits := 0; bits < 1<<16; bits++ {
+		v := tensor.F16Decode(uint16(bits))
+		if math.IsNaN(float64(v)) {
+			continue
+		}
+		if back := tensor.F16Encode(v); back != uint16(bits) {
+			t.Fatalf("half %#04x decodes to %g which re-encodes to %#04x", bits, v, back)
+		}
+	}
+}
+
+// TestQuantizeInt8 pins the symmetric quantizer: saturation at +-127,
+// round-to-nearest-even, zero preserved exactly, degenerate scales safe.
+func TestQuantizeInt8(t *testing.T) {
+	s := tensor.Int8Scale(127) // scale 1
+	if s != 1 {
+		t.Fatalf("Int8Scale(127) = %g, want 1", s)
+	}
+	cases := []struct {
+		v    float32
+		want int8
+	}{
+		{0, 0}, {1, 1}, {-1, -1}, {126.6, 127}, {1000, 127}, {-1000, -127},
+		{0.5, 0}, {1.5, 2}, {2.5, 2}, // ties to even
+	}
+	for _, tc := range cases {
+		if got := tensor.QuantizeInt8(tc.v, s); got != tc.want {
+			t.Errorf("QuantizeInt8(%g, 1) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if got := tensor.QuantizeInt8(5, 0); got != 0 {
+		t.Errorf("zero scale must quantize to code 0, got %d", got)
+	}
+	if s := tensor.Int8Scale(0); s != 1 {
+		t.Errorf("degenerate Int8Scale(0) = %g, want 1", s)
+	}
+}
+
+// TestConvertAndCopy: fp32 -> fp16 -> fp32 stays within half precision;
+// fp32 -> int8 -> fp32 within the quantization step; Copy moves values
+// across dtypes without allocating new storage semantics surprises.
+func TestConvertAndCopy(t *testing.T) {
+	src := tensor.New(2, 3, 4, 4)
+	src.FillRandom(11)
+
+	h := tensor.Convert(src, tensor.Float16, 0)
+	if h.DType() != tensor.Float16 {
+		t.Fatalf("Convert dtype = %v", h.DType())
+	}
+	for i := 0; i < src.Size(); i++ {
+		want := tensor.F16Round(src.GetF(i))
+		if got := h.GetF(i); got != want {
+			t.Fatalf("elem %d: fp16 %g, want %g", i, got, want)
+		}
+	}
+
+	q := tensor.Convert(src, tensor.Int8, 0)
+	if q.Scale() <= 0 {
+		t.Fatalf("int8 convert must derive a positive scale, got %g", q.Scale())
+	}
+	for i := 0; i < src.Size(); i++ {
+		if d := math.Abs(float64(q.GetF(i) - src.GetF(i))); d > float64(q.Scale())/2+1e-7 {
+			t.Fatalf("elem %d: int8 error %g exceeds half step %g", i, d, q.Scale()/2)
+		}
+	}
+
+	// Cross-dtype Copy widens back to fp32.
+	back := tensor.New(2, 3, 4, 4)
+	tensor.Copy(back, h)
+	for i := 0; i < src.Size(); i++ {
+		if back.GetF(i) != h.GetF(i) {
+			t.Fatalf("Copy fp16->fp32 elem %d: %g vs %g", i, back.GetF(i), h.GetF(i))
+		}
+	}
+
+	// Same-dtype int8 Copy must carry the scale.
+	q2 := tensor.NewTyped(tensor.Int8, 2, 3, 4, 4)
+	tensor.Copy(q2, q)
+	if q2.Scale() != q.Scale() {
+		t.Fatalf("int8 Copy dropped scale: %g vs %g", q2.Scale(), q.Scale())
+	}
+}
+
+// TestArenaMixed: the mixed arena hands out dtype-segregated slices and
+// Bytes() accounts each pool at its element width.
+func TestArenaMixed(t *testing.T) {
+	a := tensor.NewArenaMixed(100, 60, 40)
+	if got, want := a.Bytes(), 4*100+2*60+40; got != want {
+		t.Fatalf("Bytes() = %d, want %d", got, want)
+	}
+	f := a.Alloc(100)
+	h := a.Alloc16(60)
+	q := a.Alloc8(40)
+	if len(f) != 100 || len(h) != 60 || len(q) != 40 {
+		t.Fatalf("alloc lengths %d/%d/%d", len(f), len(h), len(q))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted pool must panic")
+		}
+	}()
+	a.Alloc16(1)
+}

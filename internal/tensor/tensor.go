@@ -68,11 +68,18 @@ func (s Shape) Strides() []int {
 	return st
 }
 
-// Tensor is a dense float32 n-dimensional array.
+// Tensor is a dense n-dimensional array. The default (and overwhelmingly
+// common) element type is float32; reduced-precision tensors carry a DType
+// tag and use the matching backing slice instead (see dtype.go). Exactly
+// one backing slice is non-nil.
 type Tensor struct {
 	shape   Shape
 	strides []int
-	data    []float32
+	data    []float32 // Float32 backing
+	half    []uint16  // Float16 backing (IEEE 754 binary16 bits)
+	qdata   []int8    // Int8 backing
+	dtype   DType
+	scale   float32 // Int8 dequantization scale: value = scale * q
 }
 
 // New allocates a zero-filled tensor of the given shape.
@@ -99,13 +106,22 @@ func (t *Tensor) Shape() Shape { return t.shape }
 func (t *Tensor) Rank() int { return len(t.shape) }
 
 // Size returns the total number of elements.
-func (t *Tensor) Size() int { return len(t.data) }
+func (t *Tensor) Size() int { return t.shape.NumElements() }
 
-// Bytes returns the size of the backing buffer in bytes (float32 elements).
-func (t *Tensor) Bytes() int { return 4 * len(t.data) }
+// Bytes returns the size of the backing buffer in bytes, accounting for
+// the element width of the tensor's dtype.
+func (t *Tensor) Bytes() int { return t.dtype.Size() * t.shape.NumElements() }
 
-// Data exposes the flat backing buffer in row-major order.
-func (t *Tensor) Data() []float32 { return t.data }
+// Data exposes the flat float32 backing buffer in row-major order. It
+// panics on a reduced-precision tensor: dtype-blind code must never read a
+// half/int8 buffer as float32, so the mistake surfaces loudly. Use GetF /
+// SetF (or Half / Int8) for dtype-aware access.
+func (t *Tensor) Data() []float32 {
+	if t.dtype != Float32 {
+		panic("tensor: Data() on " + t.dtype.String() + " tensor; use GetF/SetF or the typed accessor")
+	}
+	return t.data
+}
 
 // Offset computes the flat index for the given coordinates.
 func (t *Tensor) Offset(idx ...int) int {
@@ -122,16 +138,25 @@ func (t *Tensor) Offset(idx ...int) int {
 	return off
 }
 
-// At returns the element at the given coordinates.
-func (t *Tensor) At(idx ...int) float32 { return t.data[t.Offset(idx...)] }
+// At returns the element at the given coordinates (widened to float32 for
+// reduced-precision tensors).
+func (t *Tensor) At(idx ...int) float32 { return t.GetF(t.Offset(idx...)) }
 
-// Set stores v at the given coordinates.
-func (t *Tensor) Set(v float32, idx ...int) { t.data[t.Offset(idx...)] = v }
+// Set stores v at the given coordinates (narrowed to the tensor's dtype).
+func (t *Tensor) Set(v float32, idx ...int) { t.SetF(t.Offset(idx...), v) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with the same dtype (and scale).
 func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
-	copy(c.data, t.data)
+	c := NewTyped(t.dtype, t.shape...)
+	c.scale = t.scale
+	switch t.dtype {
+	case Float16:
+		copy(c.half, t.half)
+	case Int8:
+		copy(c.qdata, t.qdata)
+	default:
+		copy(c.data, t.data)
+	}
 	return c
 }
 
@@ -139,24 +164,27 @@ func (t *Tensor) Clone() *Tensor {
 // The element count must match.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	s := Shape(shape).Clone()
-	if s.NumElements() != len(t.data) {
+	if s.NumElements() != t.Size() {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (%d) to %v (%d)",
-			t.shape, len(t.data), s, s.NumElements()))
+			t.shape, t.Size(), s, s.NumElements()))
 	}
-	return &Tensor{shape: s, strides: s.Strides(), data: t.data}
+	return &Tensor{shape: s, strides: s.Strides(),
+		data: t.data, half: t.half, qdata: t.qdata, dtype: t.dtype, scale: t.scale}
 }
 
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float32) {
-	for i := range t.data {
-		t.data[i] = v
+	n := t.Size()
+	for i := 0; i < n; i++ {
+		t.SetF(i, v)
 	}
 }
 
 // FillFunc sets element i (flat index) to f(i).
 func (t *Tensor) FillFunc(f func(i int) float32) {
-	for i := range t.data {
-		t.data[i] = f(i)
+	n := t.Size()
+	for i := 0; i < n; i++ {
+		t.SetF(i, f(i))
 	}
 }
 
@@ -164,15 +192,19 @@ func (t *Tensor) FillFunc(f func(i int) float32) {
 // [-1, 1) derived from seed. The same seed always yields the same contents.
 func (t *Tensor) FillRandom(seed int64) {
 	rng := rand.New(rand.NewSource(seed))
-	for i := range t.data {
-		t.data[i] = rng.Float32()*2 - 1
+	n := t.Size()
+	for i := 0; i < n; i++ {
+		t.SetF(i, rng.Float32()*2-1)
 	}
 }
 
 // String renders small tensors fully and large ones as a summary.
 func (t *Tensor) String() string {
-	if len(t.data) <= 16 {
+	if t.dtype == Float32 && len(t.data) <= 16 {
 		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	if t.dtype != Float32 {
+		return fmt.Sprintf("Tensor[%s]%v[%d elements]", t.dtype, t.shape, t.Size())
 	}
 	return fmt.Sprintf("Tensor%v[%d elements]", t.shape, len(t.data))
 }
@@ -184,14 +216,18 @@ func AllClose(a, b *Tensor, tol float64) bool {
 }
 
 // MaxAbsDiff returns the maximum elementwise |a-b| scaled by
-// max(1, |a|, |b|); +Inf if shapes differ.
+// max(1, |a|, |b|); +Inf if shapes differ. The operands may have different
+// dtypes (reduced-precision values are widened first), which is how the
+// mixed-precision tolerance harness compares fp16/int8 outputs against the
+// fp32 reference.
 func MaxAbsDiff(a, b *Tensor) float64 {
 	if !a.shape.Equal(b.shape) {
 		return math.Inf(1)
 	}
 	worst := 0.0
-	for i := range a.data {
-		av, bv := float64(a.data[i]), float64(b.data[i])
+	n := a.Size()
+	for i := 0; i < n; i++ {
+		av, bv := float64(a.GetF(i)), float64(b.GetF(i))
 		den := math.Max(1, math.Max(math.Abs(av), math.Abs(bv)))
 		if d := math.Abs(av-bv) / den; d > worst {
 			worst = d

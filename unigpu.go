@@ -226,6 +226,13 @@ type CompileOptions struct {
 	// rounding (~1e-4); with it off (the default) every selected kernel is
 	// bit-identical to direct and model outputs are unchanged.
 	AllowWinograd bool
+	// DType selects the storage/compute precision policy: "" or "fp32"
+	// (default — bit-identical to the goldens), "fp16" (binary16 storage,
+	// fp32 accumulation), "int8" (symmetric int8 convolutions over fp16
+	// carriers), or "auto" (per-conv roofline choice among the three).
+	// Non-fp32 modes run graph quantization with seeded calibration;
+	// outputs always come back float32.
+	DType string
 }
 
 // CompiledModel is a model optimized for one platform.
@@ -247,6 +254,10 @@ type CompiledModel struct {
 	// ConvKernels counts the convolutions assigned to each algorithm by
 	// the kernel-selection pass (keys: direct, depthwise, winograd, gemm).
 	ConvKernels map[string]int
+	// DType is the compiled precision policy ("fp32", "fp16", "int8",
+	// "auto") and Quant what the quantization pass did (zero for fp32).
+	DType string
+	Quant graph.QuantizeStats
 
 	model    *models.Model
 	planOnce sync.Once
@@ -259,6 +270,7 @@ type CompiledModel struct {
 	db            *TuningDB
 	allowWinograd bool
 	placement     graph.PlacementOptions
+	quant         graph.QuantizeOptions
 	batchMu       sync.Mutex
 	batchPlans    map[int]*batchPlanSlot
 }
@@ -299,6 +311,20 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 
 	cm := &CompiledModel{Name: name, Platform: p, model: m}
 
+	// Mixed-precision lowering (before kernel selection, so the selector
+	// prices and records kernels at each conv's storage dtype).
+	mode, ok := graph.ParseQuantMode(opts.DType)
+	if !ok {
+		return nil, fmt.Errorf("unigpu: unknown dtype %q (want fp32, fp16, int8, auto)", opts.DType)
+	}
+	cm.quant = graph.QuantizeOptions{Mode: mode, Device: p.GPU}
+	qstats, err := graph.QuantizeGraph(m.Graph, cm.quant)
+	if err != nil {
+		return nil, fmt.Errorf("unigpu: quantize %s: %w", name, err)
+	}
+	cm.DType = mode.String()
+	cm.Quant = qstats
+
 	// Per-workload conv algorithm selection: the roofline cost model picks
 	// among direct / depthwise / winograd / gemm for every conv, with
 	// tuning-DB kernel records taking precedence, and the runtime prepacks
@@ -336,6 +362,9 @@ func (e *Engine) Compile(name string, p *Platform, opts CompileOptions) (*Compil
 		convMs = plan.KernelMs
 		transformMs = plan.TransformMs
 	}
+	// Tuning searches schedules in fp32; narrowed convolutions scale the
+	// tuned kernel time by the roofline dtype ratio (exactly 1 for fp32).
+	convMs *= graph.DTypeConvScale(m.Graph, p.GPU)
 	var visMs float64
 	switch {
 	case m.Vision == nil:
@@ -401,6 +430,10 @@ func (cm *CompiledModel) PlanForBatch(n int) (*runtime.Plan, error) {
 		defer sp.End()
 		m := models.BuildN(cm.Name, cm.model.InputSize, n, false)
 		graph.Optimize(m.Graph)
+		if _, qerr := graph.QuantizeGraph(m.Graph, cm.quant); qerr != nil {
+			sl.err = qerr
+			return
+		}
 		graph.SelectConvKernels(m.Graph, graph.KernelSelection{
 			Device: cm.Platform.GPU, DB: cm.db, AllowWinograd: cm.allowWinograd,
 		})
