@@ -56,8 +56,12 @@ bench-baseline:
 # goroutine leaks throughout. The batched soak pushes the same seeded
 # faults through the request-coalescing front-end (gather/batched
 # run/scatter, per-request degradation on batch faults, pool Close).
+# The fleet soak serves the same seeded load across three device
+# replicas, kills one a third of the way in and heals it at two thirds,
+# asserting zero non-deadline failures, bit-identical outputs and that
+# the healed device serves again.
 soak:
-	UNIGPU_SOAK_RUNS=500 $(GO) test -race -run 'TestFaultSoak|TestBatchedFaultSoak' -count=1 -v ./internal/runtime
+	UNIGPU_SOAK_RUNS=500 $(GO) test -race -run 'TestFaultSoak|TestBatchedFaultSoak|TestFleetSoak' -count=1 -v ./internal/runtime
 
 # trace produces a sample Chrome trace + metrics dump from a quick run.
 trace:

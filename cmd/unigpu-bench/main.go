@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unigpu"
@@ -51,6 +52,9 @@ func main() {
 	requests := flag.Int("requests", 32, "serving mode: requests per client")
 	workers := flag.Int("workers", 1, "serving mode: per-session CPU worker pool for concurrent node dispatch")
 	gpuStreams := flag.Int("gpu-streams", 1, "serving mode: simulated GPU command queues per session")
+	fleetMode := flag.Bool("fleet", false, "fleet serving soak: serve -model across the three paper platforms with latency-predictive routing and breaker-aware failover; with -fleet-kill >= 0, lose that device a third of the way in and (with -fleet-heal) heal it at two thirds; prints the per-device QPS/p99 table and the per-phase healthy/lost/heal-ramp summary")
+	fleetKill := flag.Int("fleet-kill", 0, "fleet: replica index to kill mid-run (-1 = never kill)")
+	fleetHeal := flag.Bool("fleet-heal", true, "fleet: heal the killed replica at two thirds of the run (scripted HealNow)")
 	faults := flag.Bool("faults", false, "fault-injection soak: with -streams, serve through a SessionPool with seeded random faults and print degraded-mode QPS/p99; alone, print the healthy-vs-quarantined latency table per zoo model")
 	faultRate := flag.Float64("fault-rate", 0.2, "faults: per-dispatch injection probability")
 	faultSeed := flag.Int64("fault-seed", 1, "faults: injector RNG seed")
@@ -69,6 +73,17 @@ func main() {
 		}
 		defer srv.Close()
 		log.Printf("telemetry on http://%s/metrics", srv.Addr())
+	}
+	if *fleetMode {
+		clients := *streams
+		if clients <= 0 {
+			clients = 6
+		}
+		fleetServe(ctx, *model, *size, *dtype, clients, *requests, *fleetKill, *fleetHeal, *jsonPath)
+		if *metrics {
+			fmt.Print(obs.DumpMetrics())
+		}
+		return
 	}
 	if *faults && *streams == 0 {
 		faultsTable(ctx)
@@ -718,5 +733,285 @@ func faultsTable(ctx context.Context) {
 		}
 		fmt.Printf("%-18s %6d %12.2f %14.2f %8.1f%%  %v\n",
 			mc.name, mc.size, healthyMs, degradedMs, 100*(degradedMs-healthyMs)/healthyMs, identical)
+	}
+}
+
+type fleetPhaseReport struct {
+	Phase     string  `json:"phase"`
+	Completed int     `json:"requests_completed"`
+	WallMs    float64 `json:"wall_ms"`
+	QPS       float64 `json:"qps"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+}
+
+type fleetReplicaReport struct {
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	Weight     float64 `json:"weight"`
+	EstimateMs float64 `json:"estimate_ms"`
+	Served     int64   `json:"served"`
+	Share      float64 `json:"share"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Breaker    string  `json:"breaker"`
+	DeviceLost bool    `json:"device_lost"`
+}
+
+type fleetReport struct {
+	Model        string               `json:"model"`
+	Size         int                  `json:"size"`
+	Clients      int                  `json:"clients"`
+	Requests     int                  `json:"requests_per_client"`
+	Completed    int                  `json:"requests_completed"`
+	Failed       int                  `json:"requests_failed"`
+	WallMs       float64              `json:"wall_ms"`
+	QPS          float64              `json:"qps"`
+	BitIdentity  bool                 `json:"bit_identical"`
+	Killed       string               `json:"killed,omitempty"`
+	Healed       bool                 `json:"healed,omitempty"`
+	HealedServed int64                `json:"healed_served,omitempty"`
+	Phases       []fleetPhaseReport   `json:"phases,omitempty"`
+	Replicas     []fleetReplicaReport `json:"replicas"`
+	Failovers    int64                `json:"failovers"`
+	Quarantines  int64                `json:"quarantines"`
+	Heals        int64                `json:"heals"`
+	Probes       int64                `json:"probes"`
+}
+
+// fleetServe soaks the multi-device fleet: one model compiled once per
+// paper platform, N clients routed by predicted latency x load x health
+// weight. With a kill script (-fleet-kill >= 0) the victim's device is
+// lost a third of the way through the run and -fleet-heal resets and
+// re-ramps it at two thirds, so the report splits into healthy / one
+// device lost / heal-ramp phases — the source of the EXPERIMENTS.md
+// fleet table. Every output is compared against a single-device reference
+// execution; any divergence fails the run.
+func fleetServe(ctx context.Context, model string, size int, dtype string, clients, requests, killIdx int, doHeal bool, jsonPath string) {
+	eng := unigpu.NewEngine()
+	t0 := time.Now()
+	fleet, err := eng.NewFleet(model, unigpu.CompileOptions{InputSize: size, SkipTuning: true, DType: dtype}, unigpu.FleetOptions{
+		Sessions:   2,
+		QueueDepth: 2 * clients,
+		Heal:       unigpu.HealPolicy{ProbeAfter: -1}, // heals are scripted below
+		// Deterministic oracle routing: placements reproduce run to run,
+		// and the healed replica (cheapest oracle) demonstrably ramps back
+		// into the serving mix instead of hiding behind converged EWMAs.
+		Router: unigpu.RouterOptions{EWMAAlpha: -1},
+	})
+	if err != nil {
+		log.Fatalf("fleet: %v", err)
+	}
+	defer fleet.Close()
+	log.Printf("fleet: %s size=%d, %d replicas compiled in %v", model, size, fleet.Len(), time.Since(t0).Round(time.Millisecond))
+	for i := 0; i < fleet.Len(); i++ {
+		log.Printf("  %-20s oracle %.2f ms", fleet.Name(i), fleet.Model(i).PredictedLatencyMs)
+	}
+	if killIdx >= fleet.Len() {
+		log.Fatalf("-fleet-kill %d: fleet has %d replicas", killIdx, fleet.Len())
+	}
+
+	in := unigpu.NewTensor(fleet.Model(0).InputShape()...)
+	rng := rand.New(rand.NewSource(1))
+	d := in.Data()
+	for j := range d {
+		d[j] = rng.Float32()
+	}
+	ref, err := fleet.Model(0).Run(in) // single-device reference execution
+	if err != nil {
+		log.Fatalf("reference run: %v", err)
+	}
+	identical := func(got *tensor.Tensor) bool {
+		if got == nil || !got.Shape().Equal(ref.Shape()) {
+			return false
+		}
+		rd, gd := ref.Data(), got.Data()
+		for i := range rd {
+			if math.Float32bits(rd[i]) != math.Float32bits(gd[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	total := clients * requests
+	killAt, healAt := int64(total/3), int64(2*total/3)
+	phaseNames := []string{"healthy", "one device lost", "heal ramp"}
+	var (
+		seq, phase         atomic.Int64
+		mismatch, failures atomic.Int64
+		servedAtHeal       atomic.Int64
+		killOnce, healOnce sync.Once
+	)
+	phaseStart := make([]time.Time, 3)
+	type sample struct {
+		phase int
+		d     time.Duration
+	}
+	lat := make([][]sample, clients)
+
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	start := time.Now()
+	phaseStart[0] = start
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			lat[c] = make([]sample, 0, requests)
+			for r := 0; r < requests; r++ {
+				if ctx.Err() != nil {
+					return
+				}
+				n := seq.Add(1)
+				if killIdx >= 0 && n >= killAt {
+					killOnce.Do(func() {
+						log.Printf("kill script: losing %s at request %d/%d", fleet.Name(killIdx), n, total)
+						fleet.Kill(killIdx)
+						phaseStart[1] = time.Now()
+						phase.Store(1)
+					})
+				}
+				if killIdx >= 0 && doHeal && n >= healAt {
+					healOnce.Do(func() {
+						for try := 0; try < 20; try++ {
+							if fleet.HealNow(killIdx) {
+								log.Printf("heal script: %s probed healthy at request %d/%d, ramping back in", fleet.Name(killIdx), n, total)
+								servedAtHeal.Store(fleet.Served(killIdx))
+								phaseStart[2] = time.Now()
+								phase.Store(2)
+								return
+							}
+							time.Sleep(5 * time.Millisecond)
+						}
+						log.Printf("heal script: %s did not recover after 20 probes", fleet.Name(killIdx))
+					})
+				}
+				p := int(phase.Load())
+				rt0 := time.Now()
+				out, err := fleet.Run(ctx, in)
+				switch {
+				case err == nil:
+					lat[c] = append(lat[c], sample{p, time.Since(rt0)})
+					if !identical(out) {
+						mismatch.Add(1)
+					}
+				case ctx.Err() != nil:
+					return
+				default:
+					failures.Add(1)
+					log.Printf("client %d: %v", c, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	byPhase := make([][]time.Duration, 3)
+	for _, l := range lat {
+		for _, s := range l {
+			all = append(all, s.d)
+			byPhase[s.phase] = append(byPhase[s.phase], s.d)
+		}
+	}
+	if len(all) == 0 {
+		log.Fatal("no requests completed")
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pctOf := func(ds []time.Duration, p float64) time.Duration {
+		return ds[int(p*float64(len(ds)-1))]
+	}
+
+	rep := fleetReport{
+		Model: model, Size: size, Clients: clients, Requests: requests,
+		Completed: len(all), Failed: int(failures.Load()),
+		WallMs:      float64(wall.Microseconds()) / 1e3,
+		QPS:         float64(len(all)) / wall.Seconds(),
+		BitIdentity: mismatch.Load() == 0,
+	}
+	if killIdx >= 0 {
+		rep.Killed = fleet.Name(killIdx)
+		rep.Healed = doHeal && fleet.State(killIdx) != unigpu.ReplicaQuarantined
+		if rep.Healed {
+			rep.HealedServed = fleet.Served(killIdx) - servedAtHeal.Load()
+		}
+	}
+	fmt.Printf("fleet: %d clients x %d requests: %d completed, %d failed in %v (%.1f req/s overall)\n",
+		clients, requests, rep.Completed, rep.Failed, wall.Round(time.Millisecond), rep.QPS)
+	fmt.Printf("  bit-identical to single-device reference: %v (%d requests checked)\n",
+		rep.BitIdentity, rep.Completed)
+
+	if killIdx >= 0 {
+		fmt.Printf("\n  %-16s %9s %9s %12s %12s\n", "phase", "requests", "qps", "p50", "p99")
+		ends := []time.Time{phaseStart[1], phaseStart[2], start.Add(wall)}
+		for p, ds := range byPhase {
+			if len(ds) == 0 || phaseStart[p].IsZero() {
+				continue
+			}
+			end := ends[p]
+			if end.IsZero() {
+				end = start.Add(wall)
+			}
+			pw := end.Sub(phaseStart[p])
+			sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+			pr := fleetPhaseReport{
+				Phase: phaseNames[p], Completed: len(ds),
+				WallMs: float64(pw.Microseconds()) / 1e3,
+				QPS:    float64(len(ds)) / pw.Seconds(),
+				P50Us:  float64(pctOf(ds, 0.50).Nanoseconds()) / 1e3,
+				P99Us:  float64(pctOf(ds, 0.99).Nanoseconds()) / 1e3,
+			}
+			rep.Phases = append(rep.Phases, pr)
+			fmt.Printf("  %-16s %9d %9.1f %12v %12v\n", pr.Phase, pr.Completed, pr.QPS,
+				pctOf(ds, 0.50).Round(time.Microsecond), pctOf(ds, 0.99).Round(time.Microsecond))
+		}
+	}
+
+	fmt.Printf("\n  %-20s %-12s %6s %9s %8s %7s %10s %10s %-9s\n",
+		"replica", "state", "weight", "est ms", "served", "share", "p50 ms", "p99 ms", "breaker")
+	for _, st := range fleet.Stats() {
+		rr := fleetReplicaReport{
+			Name: st.Name, State: st.State.String(), Weight: st.Weight,
+			EstimateMs: st.EstimateMs, Served: st.Served,
+			Share: 100 * float64(st.Served) / float64(len(all)),
+			P50Ms: st.P50Ms, P99Ms: st.P99Ms,
+			Breaker: st.Breaker.String(), DeviceLost: st.DeviceLost,
+		}
+		rep.Replicas = append(rep.Replicas, rr)
+		lost := ""
+		if st.DeviceLost {
+			lost = " (device lost)"
+		}
+		fmt.Printf("  %-20s %-12s %6.2f %9.2f %8d %6.1f%% %10.3f %10.3f %-9s%s\n",
+			rr.Name, rr.State, rr.Weight, rr.EstimateMs, rr.Served, rr.Share, rr.P50Ms, rr.P99Ms, rr.Breaker, lost)
+	}
+
+	reg := obs.DefaultRegistry
+	rep.Failovers = reg.Counter("fleet.failover").Value()
+	rep.Quarantines = reg.Counter("fleet.quarantines").Value()
+	rep.Heals = reg.Counter("fleet.heals").Value()
+	rep.Probes = reg.Counter("fleet.probes").Value()
+	fmt.Printf("\n  failovers %d, quarantines %d, heals %d, probes %d\n",
+		rep.Failovers, rep.Quarantines, rep.Heals, rep.Probes)
+	if rep.Healed {
+		fmt.Printf("  healed %s served %d requests after ramp-in\n", rep.Killed, rep.HealedServed)
+	}
+	if !rep.BitIdentity {
+		log.Fatalf("fleet soak: %d outputs diverged from the single-device reference", mismatch.Load())
+	}
+	if rep.Failed > 0 {
+		log.Fatalf("fleet soak: %d requests failed", rep.Failed)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal fleet report: %v", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("write fleet report: %v", err)
+		}
+		log.Printf("fleet report written to %s", jsonPath)
 	}
 }

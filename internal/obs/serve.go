@@ -74,6 +74,14 @@ func RegisterDebug(name string, fn func() any) {
 	debugMu.Unlock()
 }
 
+// UnregisterDebug removes a debug source (a closed Fleet retires its
+// "fleet" snapshot so a later fleet can register fresh state).
+func UnregisterDebug(name string) {
+	debugMu.Lock()
+	delete(debugSources, name)
+	debugMu.Unlock()
+}
+
 func debugSource(name string) (func() any, bool) {
 	debugMu.Lock()
 	defer debugMu.Unlock()

@@ -92,8 +92,14 @@ type Batcher struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
-	closed   chan struct{} // closed before stop: Run sheds instead of enqueueing
 	wg       sync.WaitGroup
+
+	// closeMu makes enqueue and close mutually exclusive: run enqueues
+	// under the read lock, close flips closed under the write lock before
+	// signalling stop. Without it a request could slip into the queue after
+	// the dispatcher's final drain and hang its caller forever.
+	closeMu sync.RWMutex
+	closed  bool
 
 	mu      sync.Mutex
 	entries map[int]*batchEntry
@@ -122,14 +128,13 @@ func newBatcher(sp *SessionPool, opts BatcherOptions) *Batcher {
 		queue:   make(chan *batchRequest, opts.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-		closed:  make(chan struct{}),
 		entries: map[int]*batchEntry{},
 	}
 	if sp.gInflight != nil {
-		b.hBatchSize = obs.DefaultRegistry.Histogram("batch.size." + sp.model)
+		b.hBatchSize = obs.DefaultRegistry.Histogram("batch.size." + sp.label)
 		b.hLinger = obs.DefaultRegistry.Histogram("batch.linger_wait_ns")
-		b.cFormed = obs.DefaultRegistry.Counter("batch.formed." + sp.model)
-		b.cDegraded = obs.DefaultRegistry.Counter("batch.degraded." + sp.model)
+		b.cFormed = obs.DefaultRegistry.Counter("batch.formed." + sp.label)
+		b.cDegraded = obs.DefaultRegistry.Counter("batch.degraded." + sp.label)
 	}
 	go b.dispatch()
 	return b
@@ -185,6 +190,11 @@ func (b *Batcher) entry(n int) *batchEntry {
 	return e
 }
 
+// testBatchEnqueuePause, when set (tests only), runs between the closed
+// check and the enqueue — the window where a concurrent close could
+// otherwise drain the queue first and strand the request.
+var testBatchEnqueuePause func()
+
 // run is SessionPool.Run routed through the batcher: bounded-queue
 // admission, then wait for the dispatcher to resolve the request.
 func (b *Batcher) run(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
@@ -205,16 +215,21 @@ func (b *Batcher) run(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*
 	if err := sp.plan.validateFeeds(feeds); err != nil {
 		return nil, finish(err, obs.OutcomeError)
 	}
-	select {
-	case <-b.closed:
-		return nil, finish(ErrPoolClosed, obs.OutcomeError)
-	default:
-	}
 	br := &batchRequest{ctx: ctx, feeds: feeds, res: make(chan batchResult, 1), start: start, req: req}
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
+		return nil, finish(ErrPoolClosed, obs.OutcomeError)
+	}
+	if testBatchEnqueuePause != nil {
+		testBatchEnqueuePause()
+	}
 	select {
 	case b.queue <- br:
+		b.closeMu.RUnlock()
 		req.MarkAdmitted()
 	default:
+		b.closeMu.RUnlock()
 		mAdmissionShed.Inc()
 		req.MarkShed()
 		return nil, finish(ErrOverloaded, obs.OutcomeShed)
@@ -452,7 +467,16 @@ func (b *Batcher) fallback(r *batchRequest) {
 // close stops the dispatcher, fails queued requests with ErrPoolClosed,
 // and waits for in-flight compiles and degraded runs to finish.
 func (b *Batcher) close() {
-	b.stopOnce.Do(func() { close(b.closed); close(b.stop) })
+	b.stopOnce.Do(func() {
+		// Take the write lock before signalling stop: every in-flight run
+		// has either finished its enqueue (the dispatcher's final drain will
+		// sweep it) or will observe closed and shed — nothing can land in
+		// the queue after the drain.
+		b.closeMu.Lock()
+		b.closed = true
+		b.closeMu.Unlock()
+		close(b.stop)
+	})
 	<-b.done
 	b.wg.Wait()
 }

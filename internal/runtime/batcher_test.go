@@ -14,6 +14,7 @@ import (
 
 	"unigpu/internal/graph"
 	"unigpu/internal/models"
+	"unigpu/internal/ops"
 	"unigpu/internal/runtime"
 	"unigpu/internal/sim"
 	"unigpu/internal/tensor"
@@ -411,4 +412,72 @@ func TestBatcherPoolClose(t *testing.T) {
 		t.Fatalf("run after close: got %v, want ErrPoolClosed", err)
 	}
 	pool.Close() // idempotent
+}
+
+// serialBatchPlanBuilder is a PlanFor over the cheap serial-ops function:
+// batch n widens the leading data dimension, every row computes the same
+// function, and no convolutions keep each compile and run fast enough to
+// hammer the close path hundreds of times.
+func serialBatchPlanBuilder() func(n int) (*runtime.Plan, error) {
+	return func(n int) (*runtime.Plan, error) {
+		g := graph.New()
+		in := g.Input("data", n, 8, 8, 8)
+		a := g.Apply("a", &graph.ActivationOp{Act: ops.ActReLU}, in)
+		l := g.Apply("l", &graph.SigmoidOp{}, a)
+		j := g.Apply("j", &graph.AddOp{}, l, a)
+		sm := g.Apply("sm", &graph.SoftmaxOp{}, j)
+		g.SetOutputs(sm)
+		return runtime.NewPlan(g)
+	}
+}
+
+// TestPoolCloseWhileBatchedInFlight is the Close-race regression test
+// (satellite of the fleet PR): Close racing concurrent batched Runs must
+// drain every request — each caller gets a result or ErrPoolClosed /
+// ErrOverloaded, never a hang — without leaking goroutines or panicking in
+// scatter. Before the closeMu fix, a request could slip into the queue
+// after the dispatcher's final drain and block its caller forever; this
+// test hung. Run under -race in CI.
+func TestPoolCloseWhileBatchedInFlight(t *testing.T) {
+	build := serialBatchPlanBuilder()
+	baseline := goruntime.NumGoroutine()
+	for round := 0; round < 30; round++ {
+		plan, err := build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := runtime.NewSessionPool(plan, runtime.PoolOptions{
+			Sessions: 2, QueueDepth: 8, DisableTelemetry: true,
+			Batch: &runtime.BatcherOptions{MaxBatch: 4, MaxLinger: 50 * time.Microsecond, PlanFor: build},
+		})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				in := tensor.New(1, 8, 8, 8)
+				in.FillRandom(seed)
+				feeds := map[string]*tensor.Tensor{"data": in}
+				<-start
+				for k := 0; k < 40; k++ {
+					_, err := pool.Run(context.Background(), feeds)
+					if err != nil {
+						if errors.Is(err, runtime.ErrPoolClosed) || errors.Is(err, runtime.ErrOverloaded) {
+							continue // closing or momentarily full: both fine
+						}
+						t.Errorf("round %d: unexpected error: %v", round, err)
+						return
+					}
+				}
+			}(int64(round*10 + c))
+		}
+		close(start)
+		// Vary the close point from "immediately" to "mid-steady-state" so
+		// different rounds race Close against enqueue, linger, and scatter.
+		time.Sleep(time.Duration(round%6) * 50 * time.Microsecond)
+		pool.Close()
+		wg.Wait() // the regression: a pre-fix race left a caller stuck here
+	}
+	assertNoGoroutineLeak(t, baseline)
 }

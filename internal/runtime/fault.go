@@ -74,6 +74,11 @@ type BreakerOptions struct {
 	// Probation is how long the breaker stays open before letting one
 	// probe dispatch through (default 250ms).
 	Probation time.Duration
+	// Device labels the breaker's state gauge with the replica it guards
+	// (breaker.state.<device>), so a fleet scrape distinguishes which
+	// device is quarantined. Empty keeps the single-device gauge name
+	// breaker.state unchanged.
+	Device string
 }
 
 // Breaker is a per-device circuit breaker. While closed, GPU dispatches
@@ -88,6 +93,7 @@ type BreakerOptions struct {
 type Breaker struct {
 	opts  BreakerOptions
 	state atomic.Int32
+	gauge *obs.Gauge
 
 	mu       sync.Mutex
 	failures int
@@ -102,7 +108,15 @@ func NewBreaker(opts BreakerOptions) *Breaker {
 	if opts.Probation <= 0 {
 		opts.Probation = 250 * time.Millisecond
 	}
-	return &Breaker{opts: opts}
+	g := mBreakerState
+	if opts.Device != "" {
+		g = obs.DefaultRegistry.Gauge("breaker.state." + opts.Device)
+		// A per-device gauge reads closed from birth; the legacy shared
+		// gauge keeps its set-on-first-transition behaviour (the metrics
+		// goldens depend on it).
+		g.Set(float64(BreakerClosed))
+	}
+	return &Breaker{opts: opts, gauge: g}
 }
 
 // State returns the breaker's current state.
@@ -115,7 +129,23 @@ func (b *Breaker) State() BreakerState {
 
 func (b *Breaker) setState(s BreakerState) {
 	b.state.Store(int32(s))
-	mBreakerState.Set(float64(s))
+	b.gauge.Set(float64(s))
+}
+
+// Expire ends an open breaker's probation immediately, so the next Allow
+// caller becomes the half-open probe. The fleet's heal scheduler calls it
+// right after a driver reset (FaultInjector.Heal), replacing the passive
+// probation timer with its own probe schedule; a closed or half-open
+// breaker is unchanged.
+func (b *Breaker) Expire() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if BreakerState(b.state.Load()) == BreakerOpen {
+		b.openedAt = time.Time{}
+	}
+	b.mu.Unlock()
 }
 
 // Allow reports whether a GPU dispatch may be attempted. Closed: always.

@@ -34,6 +34,12 @@ type PoolOptions struct {
 	// quarantine state must be shared. Session.Model labels every pool
 	// metric, trace and SLO window (default "default").
 	Session SessionOptions
+	// Device labels this pool's metrics and health entry with the device
+	// replica it serves: pool.in_flight.<model>.<device> and friends, plus
+	// a breaker.state.<device> gauge on the pool-installed breaker. Empty
+	// keeps the single-device metric names (pool.in_flight.<model>,
+	// breaker.state) backward-compatible. The Fleet sets it per replica.
+	Device string
 
 	// Requests assigns request IDs and samples per-request traces (default
 	// obs.DefaultRequests). SLO is the rolling health monitor (default
@@ -73,8 +79,10 @@ type SessionPool struct {
 
 	// Telemetry (nil/zero when disabled). Gauge and histogram handles are
 	// resolved once; Registry.Reset zeroes them in place, keeping handles
-	// valid.
+	// valid. label is model plus the optional ".<device>" suffix used in
+	// metric and health names.
 	model      string
+	label      string
 	requests   *obs.RequestTracker
 	slo        *obs.SLOMonitor
 	gInflight  *obs.Gauge
@@ -90,11 +98,15 @@ func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
 	}
 	so := opts.Session
 	if so.Faults != nil && so.Breaker == nil {
-		so.Breaker = NewBreaker(BreakerOptions{})
+		so.Breaker = NewBreaker(BreakerOptions{Device: opts.Device})
 	}
 	model := so.Model
 	if model == "" {
 		model = "default"
+	}
+	label := model
+	if opts.Device != "" {
+		label = model + "." + opts.Device
 	}
 	if !opts.DisableTelemetry && so.Profiler == nil {
 		so.Profiler = obs.DefaultProfiler
@@ -105,6 +117,7 @@ func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
 		breaker:  so.Breaker,
 		depth:    int32(opts.QueueDepth),
 		model:    model,
+		label:    label,
 		sessOpts: so,
 	}
 	if !opts.DisableTelemetry {
@@ -116,8 +129,8 @@ func NewSessionPool(p *Plan, opts PoolOptions) *SessionPool {
 		if sp.slo == nil {
 			sp.slo = obs.DefaultSLO
 		}
-		sp.gInflight = obs.DefaultRegistry.Gauge("pool.in_flight." + model)
-		sp.gWait = obs.DefaultRegistry.Gauge("pool.wait_queue." + model)
+		sp.gInflight = obs.DefaultRegistry.Gauge("pool.in_flight." + label)
+		sp.gWait = obs.DefaultRegistry.Gauge("pool.wait_queue." + label)
 		sp.hQueueWait = obs.DefaultRegistry.Histogram("pool.queue_wait_ns")
 		sp.gInflight.Set(0)
 		sp.gWait.Set(0)
@@ -149,7 +162,7 @@ func (sp *SessionPool) Close() {
 // occupancy in the detail either way. A later pool serving the same model
 // replaces the entry.
 func (sp *SessionPool) registerHealth() {
-	obs.RegisterHealth("pool."+sp.model, func() obs.HealthStatus {
+	obs.RegisterHealth("pool."+sp.label, func() obs.HealthStatus {
 		st := sp.breaker.State()
 		busy := cap(sp.idle) - len(sp.idle)
 		return obs.HealthStatus{

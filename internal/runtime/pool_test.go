@@ -201,3 +201,50 @@ func TestPoolConcurrentServing(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPoolDeviceLabels (fleet satellite): PoolOptions.Device suffixes the
+// pool's metrics, health entry, and pool-installed breaker gauge with the
+// replica name, so a fleet scrape can tell devices apart; an unset Device
+// keeps the original single-device names (see TestTelemetryWiring and the
+// Prometheus golden for the legacy shape).
+func TestPoolDeviceLabels(t *testing.T) {
+	g, feeds := buildSerialOpsGraph()
+	plan, err := runtime.NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := sim.NewFaultInjector(sim.FaultConfig{})
+	so := faultSessionOpts(inj)
+	so.Model = "labelled"
+	sp := runtime.NewSessionPool(plan, runtime.PoolOptions{
+		Sessions: 1, Device: "dev-a", Session: so,
+	})
+	if _, err := sp.Run(context.Background(), feeds); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := obs.DefaultRegistry.Gauge("pool.in_flight.labelled.dev-a").Value(); !ok || v != 0 {
+		t.Fatalf("pool.in_flight.labelled.dev-a = %v %v, want 0 after drain", v, ok)
+	}
+	if v, ok := obs.DefaultRegistry.Gauge("breaker.state.dev-a").Value(); !ok || v != float64(runtime.BreakerClosed) {
+		t.Fatalf("breaker.state.dev-a = %v %v, want closed", v, ok)
+	}
+	// Check only this pool's entry: earlier tests in the package may have
+	// left other health sources registered (and unhealthy).
+	_, checks := obs.Health()
+	st, present := checks["pool.labelled.dev-a"]
+	if !present {
+		t.Fatalf("health entry pool.labelled.dev-a missing; have %v", keysOf(checks))
+	}
+	if !st.OK {
+		t.Fatalf("health entry pool.labelled.dev-a not ok: %+v", st)
+	}
+	obs.UnregisterHealth("pool.labelled.dev-a")
+}
+
+func keysOf(m map[string]obs.HealthStatus) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -79,6 +79,11 @@ type FaultConfig struct {
 	// MaxFaults bounds the total number of randomly injected faults
 	// (0 = unlimited). Scripted faults are not counted against it.
 	MaxFaults int
+	// Device labels this injector's metrics with the replica it models
+	// (fault.injected.<kind>.<device>), so a fleet scrape distinguishes
+	// which device faulted. Empty keeps the single-device metric names
+	// (fault.injected.<kind>) unchanged.
+	Device string
 }
 
 // FaultInjector deterministically injects device failures into simulated
@@ -150,7 +155,7 @@ func (f *FaultInjector) Dispatch(ctx context.Context, node string) error {
 	hang := f.cfg.HangLatency
 	f.mu.Unlock()
 
-	obs.Count("fault.injected."+kind.String(), 1)
+	f.countInjected(kind)
 	if kind == FaultQueueHang {
 		if hang <= 0 {
 			hang = 2 * time.Millisecond
@@ -164,6 +169,37 @@ func (f *FaultInjector) Dispatch(ctx context.Context, node string) error {
 		}
 	}
 	return &Fault{Kind: kind, Node: node}
+}
+
+// countInjected bumps the injected-fault counter, labelled per device when
+// the injector carries a Device name (fleet replicas) and under the
+// original single-device name otherwise.
+func (f *FaultInjector) countInjected(kind FaultKind) {
+	name := "fault.injected." + kind.String()
+	if f.cfg.Device != "" {
+		name += "." + f.cfg.Device
+	}
+	obs.Count(name, 1)
+}
+
+// Kill deterministically removes the device — the scripted counterpart of
+// a random FaultDeviceLost: every subsequent dispatch fails permanently
+// until Heal. Fleet soaks use it to lose a device at an exact point in the
+// request schedule. Killing an already-lost device is a no-op.
+func (f *FaultInjector) Kill() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.lost {
+		f.mu.Unlock()
+		return
+	}
+	f.lost = true
+	f.total++
+	f.byKind[FaultDeviceLost]++
+	f.mu.Unlock()
+	f.countInjected(FaultDeviceLost)
 }
 
 // DeviceLost reports whether a FaultDeviceLost has fired and the device
@@ -180,6 +216,9 @@ func (f *FaultInjector) DeviceLost() bool {
 // Heal restores a lost device (a driver reset), so subsequent dispatches
 // go back to the configured random behaviour.
 func (f *FaultInjector) Heal() {
+	if f == nil {
+		return
+	}
 	f.mu.Lock()
 	f.lost = false
 	f.mu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"unigpu/internal/obs"
 )
 
 // TestFaultInjectorDeterminism: the same seed and dispatch order must
@@ -135,5 +137,60 @@ func TestNilInjectorHealthy(t *testing.T) {
 	}
 	if inj.DeviceLost() || inj.Total() != 0 {
 		t.Fatal("nil injector must report no faults")
+	}
+}
+
+// TestFaultInjectorKill: Kill is the scripted device loss — immediate,
+// idempotent, counted as a FaultDeviceLost, and reversed by Heal.
+func TestFaultInjectorKill(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{})
+	if inj.DeviceLost() {
+		t.Fatal("fresh injector reports device lost")
+	}
+	inj.Kill()
+	if !inj.DeviceLost() {
+		t.Fatal("Kill did not lose the device")
+	}
+	err := inj.Dispatch(context.Background(), "n")
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultDeviceLost {
+		t.Fatalf("dispatch after Kill: got %v, want FaultDeviceLost", err)
+	}
+	inj.Kill() // idempotent: no double count
+	if got := inj.Injected(FaultDeviceLost); got != 1 {
+		t.Fatalf("Injected(FaultDeviceLost) = %d, want 1", got)
+	}
+	inj.Heal()
+	if inj.DeviceLost() {
+		t.Fatal("Heal did not restore the device")
+	}
+	if err := inj.Dispatch(context.Background(), "n"); err != nil {
+		t.Fatalf("dispatch after Heal: %v", err)
+	}
+	// nil-safe scripting: a replica without an injector ignores both.
+	var nilInj *FaultInjector
+	nilInj.Kill()
+	nilInj.Heal()
+}
+
+// TestFaultInjectorDeviceLabel: an injector carrying a Device name counts
+// faults under fault.injected.<kind>.<device>; without one the original
+// single-device metric names are untouched (backward compatibility).
+func TestFaultInjectorDeviceLabel(t *testing.T) {
+	labelled := obs.DefaultRegistry.Counter("fault.injected.device_lost.test-dev-7")
+	legacy := obs.DefaultRegistry.Counter("fault.injected.device_lost")
+	l0, g0 := labelled.Value(), legacy.Value()
+
+	NewFaultInjector(FaultConfig{Device: "test-dev-7"}).Kill()
+	if got := labelled.Value() - l0; got != 1 {
+		t.Fatalf("labelled counter rose by %d, want 1", got)
+	}
+	if got := legacy.Value() - g0; got != 0 {
+		t.Fatalf("labelled Kill leaked %d into the legacy counter", got)
+	}
+
+	NewFaultInjector(FaultConfig{}).Kill()
+	if got := legacy.Value() - g0; got != 1 {
+		t.Fatalf("legacy counter rose by %d, want 1", got)
 	}
 }

@@ -31,6 +31,7 @@ package unigpu
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"unigpu/internal/autotvm"
@@ -595,3 +596,178 @@ func (cm *CompiledModel) GraphStats() graph.Stats { return cm.model.Graph.Summar
 // Experiments exposes the paper's evaluation harness (Tables 1-5, the
 // fallback experiment) on this engine's caches.
 func (e *Engine) Experiments() *bench.Estimator { return e.est }
+
+// ---- Fleet serving ----
+
+type (
+	// HealPolicy schedules how a quarantined fleet replica returns to
+	// service: probe wait, probe timeout, and the traffic ramp.
+	HealPolicy = runtime.HealPolicy
+	// RouterOptions configures fleet placement scoring (EWMA correction
+	// of the roofline cost oracle by observed latency).
+	RouterOptions = runtime.RouterOptions
+	// ReplicaStats is one fleet replica's serving snapshot: state,
+	// weight, latency estimate and observed p50/p99, served counts,
+	// breaker and device health.
+	ReplicaStats = runtime.ReplicaStats
+	// ReplicaState is a fleet replica's lifecycle state (active,
+	// quarantined, probing, ramping).
+	ReplicaState = runtime.ReplicaState
+)
+
+// Re-exported replica lifecycle states.
+const (
+	ReplicaActive      = runtime.ReplicaActive
+	ReplicaQuarantined = runtime.ReplicaQuarantined
+	ReplicaProbing     = runtime.ReplicaProbing
+	ReplicaRamping     = runtime.ReplicaRamping
+)
+
+// FleetOptions configures Engine.NewFleet.
+type FleetOptions struct {
+	// Platforms are the device replicas, one per entry; repeating a
+	// platform makes homogeneous replicas. Default: the paper's three
+	// evaluation platforms (DeepLens, aiSage, Jetson Nano).
+	Platforms []*Platform
+	// Sessions and QueueDepth size each replica's pool (defaults 2, 8).
+	Sessions   int
+	QueueDepth int
+	// Faults supplies one injector per replica, index-aligned with
+	// Platforms; missing or nil entries get a quiet scripted injector
+	// (Rate 0, seeded by replica index) so Kill/Heal scripting always
+	// works.
+	Faults []*FaultInjector
+	// Heal schedules quarantined-replica recovery; Router tunes
+	// placement scoring. Zero values select the defaults.
+	Heal   HealPolicy
+	Router RouterOptions
+}
+
+// Fleet serves one model across N device replicas: per-replica compiled
+// plans (each tuned for its platform), latency-predictive routing seeded
+// by the roofline cost oracle, breaker-aware failover that drains a lost
+// device's traffic to the survivors, and a probe-then-ramp heal lifecycle.
+// Outputs are bit-identical regardless of which replica serves.
+type Fleet struct {
+	fleet  *runtime.Fleet
+	models []*CompiledModel
+}
+
+// NewFleet compiles the model once per platform and assembles the serving
+// fleet. Each replica gets its own plan, session pool, fault injector and
+// circuit breaker, named <platform>-<index> (e.g. "aws-deeplens-0").
+func (e *Engine) NewFleet(model string, copts CompileOptions, fopts FleetOptions) (*Fleet, error) {
+	plats := fopts.Platforms
+	if len(plats) == 0 {
+		plats = Platforms()
+	}
+	sessions := fopts.Sessions
+	if sessions <= 0 {
+		sessions = 2
+	}
+	depth := fopts.QueueDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	f := &Fleet{}
+	reps := make([]runtime.ReplicaConfig, len(plats))
+	for i, p := range plats {
+		cm, err := e.Compile(model, p, copts)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := cm.Plan()
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%s-%d", replicaSlug(p.Name), i)
+		var inj *FaultInjector
+		if i < len(fopts.Faults) {
+			inj = fopts.Faults[i]
+		}
+		if inj == nil {
+			inj = NewFaultInjector(FaultConfig{Seed: int64(i), Device: name})
+		}
+		reps[i] = runtime.ReplicaConfig{
+			Name:      name,
+			Plan:      plan,
+			PredictMs: cm.PredictedLatencyMs,
+			Pool: runtime.PoolOptions{
+				Sessions:   sessions,
+				QueueDepth: depth,
+				Session:    runtime.SessionOptions{Model: model, Faults: inj},
+			},
+		}
+		f.models = append(f.models, cm)
+	}
+	fl, err := runtime.NewFleet(runtime.FleetOptions{
+		Replicas: reps,
+		Router:   fopts.Router,
+		Heal:     fopts.Heal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.fleet = fl
+	return f, nil
+}
+
+// replicaSlug turns a platform name into a metric-safe replica label:
+// lower-case, runs of non-alphanumerics collapsed to single dashes.
+func replicaSlug(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// Run places one request on the best replica (predicted latency x load x
+// health weight) and fails over down the ranking on replica errors; the
+// output is bit-identical no matter which replica serves.
+func (f *Fleet) Run(ctx context.Context, input *Tensor) (*Tensor, error) {
+	outs, err := f.fleet.Run(ctx, map[string]*tensor.Tensor{"data": input})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Len returns the number of replicas; Name returns replica i's label.
+func (f *Fleet) Len() int          { return f.fleet.Len() }
+func (f *Fleet) Name(i int) string { return f.fleet.Name(i) }
+
+// Model returns the compiled model serving replica i (its predicted
+// latency seeds the router's cost oracle).
+func (f *Fleet) Model(i int) *CompiledModel { return f.models[i] }
+
+// State returns replica i's lifecycle state; Served how many requests it
+// has completed.
+func (f *Fleet) State(i int) ReplicaState { return f.fleet.State(i) }
+func (f *Fleet) Served(i int) int64       { return f.fleet.Served(i) }
+
+// Kill deterministically loses replica i's device mid-run (the soak's
+// kill script); the fleet quarantines it and drains traffic to survivors.
+func (f *Fleet) Kill(i int) { f.fleet.Kill(i) }
+
+// HealNow resets replica i's device and probes it immediately, bypassing
+// the heal schedule; it reports whether the probe recovered the replica
+// (which then ramps back to full traffic share).
+func (f *Fleet) HealNow(i int) bool { return f.fleet.HealNow(i) }
+
+// Stats snapshots every replica's serving state (also exposed live at
+// /debug/fleet when telemetry is being served).
+func (f *Fleet) Stats() []ReplicaStats { return f.fleet.Stats() }
+
+// Close stops the heal supervisor and every replica pool.
+func (f *Fleet) Close() { f.fleet.Close() }

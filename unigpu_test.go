@@ -177,3 +177,78 @@ func TestPublicSurfaces(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetServing: the public fleet compiles the model once per platform,
+// routes by predicted latency, survives a scripted kill (drain to
+// survivors, zero failures, bit-identical outputs), and the healed replica
+// ramps back in and serves again.
+func TestFleetServing(t *testing.T) {
+	eng := NewEngine()
+	fleet, err := eng.NewFleet("SqueezeNet1.0", CompileOptions{InputSize: 64}, FleetOptions{
+		Heal:   HealPolicy{ProbeAfter: -1, RampSteps: 1, RampSuccesses: 1},
+		Router: RouterOptions{EWMAAlpha: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if fleet.Len() != 3 {
+		t.Fatalf("fleet has %d replicas, want the 3 paper platforms", fleet.Len())
+	}
+	if got := fleet.Name(0); got != "aws-deeplens-0" {
+		t.Fatalf("replica 0 named %q, want aws-deeplens-0", got)
+	}
+	in := NewTensor(fleet.Model(0).InputShape()...)
+	in.FillRandom(7)
+	want, err := fleet.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every replica, healthy or failed over, must reproduce this output
+	// bit-identically.
+	check := func(phase string) {
+		t.Helper()
+		out, err := fleet.Run(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		for i, v := range out.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("%s: output diverged at %d: %v != %v", phase, i, v, want.Data()[i])
+			}
+		}
+	}
+	check("healthy")
+
+	// Kill whichever replica is serving, then verify traffic drains to the
+	// survivors with no failures.
+	victim := 0
+	best := fleet.Stats()
+	for i, st := range best {
+		if st.Served > best[victim].Served {
+			victim = i
+		}
+	}
+	fleet.Kill(victim)
+	for k := 0; k < 5; k++ {
+		check("post-kill")
+	}
+	if st := fleet.State(victim); st != ReplicaQuarantined {
+		t.Fatalf("victim state = %v, want quarantined", st)
+	}
+
+	if !fleet.HealNow(victim) {
+		t.Fatal("HealNow failed")
+	}
+	served := fleet.Served(victim)
+	for k := 0; k < 8; k++ {
+		check("post-heal")
+	}
+	if fleet.Served(victim) <= served && fleet.State(victim) == ReplicaQuarantined {
+		t.Fatal("healed replica never returned to service")
+	}
+	if len(fleet.Stats()) != 3 {
+		t.Fatalf("stats rows = %d, want 3", len(fleet.Stats()))
+	}
+}
